@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_fig*.py`` regenerates one evaluation artifact of the paper via
+its experiment runner, asserts the paper's qualitative *shape* (who wins,
+roughly by how much, where crossovers fall — absolute numbers are not
+expected to match a 2015 testbed), and reports the runtime through
+pytest-benchmark.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FULL=1`` to run the paper-scale sweeps instead of the trimmed
+fast ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    """True when the paper-scale (slow) sweeps were requested."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment runner once and return its result."""
+
+    def _run(runner, **kwargs):
+        kwargs.setdefault("fast", not full_mode())
+        result = benchmark.pedantic(
+            runner, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(result.to_text())
+        return result
+
+    return _run
+
+
+def series(result, **criteria):
+    """Extract matching rows from an ExperimentResult."""
+    return result.filtered(**criteria)
+
+
+def column_of(rows, result, name):
+    """Column values of pre-filtered rows."""
+    index = list(result.headers).index(name)
+    return [row[index] for row in rows]

@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices called out in DESIGN.md §4.
+
+* γ-ramp origin (``gamma_from_alpha``): the literal pseudocode ramps the
+  relay bid from zero after TIGHT, which delays SPANs and under-opens.
+* SPAN policy: spanning only the best candidate vs every tight candidate.
+* Promotion serialization: without the arbiter, simultaneous
+  self-promotions over-open.
+* Path policy for Eq. 2: shortest-hop (paper) vs minimum-contention
+  routing.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import (
+    DistributedConfig,
+    grid_problem,
+    solve_approximation,
+    solve_distributed,
+)
+from repro.core import CachingProblem, PATH_POLICY_CONTENTION
+from repro.metrics import evaluate_contention
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return grid_problem(6)
+
+
+def test_ablation_gamma_ramp(benchmark, problem):
+    def run():
+        aligned = solve_distributed(
+            problem, DistributedConfig(gamma_from_alpha=True)
+        ).placement
+        literal = solve_distributed(
+            problem, DistributedConfig(gamma_from_alpha=False)
+        ).placement
+        return aligned, literal
+
+    aligned, literal = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\naligned-gamma copies={aligned.total_copies()} "
+          f"literal-gamma copies={literal.total_copies()}")
+    assert literal.total_copies() <= aligned.total_copies()
+
+
+def test_ablation_span_policy(benchmark, problem):
+    def run():
+        spread = solve_distributed(
+            problem, DistributedConfig(span_policy="all")
+        ).placement
+        focused = solve_distributed(
+            problem, DistributedConfig(span_policy="best", span_threshold=2)
+        ).placement
+        return spread, focused
+
+    spread, focused = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nspan=all copies={spread.total_copies()} "
+          f"span=best copies={focused.total_copies()}")
+    for placement in (spread, focused):
+        placement.validate()
+
+
+def test_ablation_promotion_arbiter(benchmark, problem):
+    def run():
+        serial = solve_distributed(
+            problem, DistributedConfig(serialize_promotions=True)
+        ).placement
+        racy = solve_distributed(
+            problem, DistributedConfig(serialize_promotions=False)
+        ).placement
+        return serial, racy
+
+    serial, racy = benchmark.pedantic(run, rounds=1, iterations=1)
+    over_opening = racy.total_copies() / max(1, serial.total_copies())
+    print(f"\nserialized copies={serial.total_copies()} "
+          f"racy copies={racy.total_copies()} "
+          f"over-opening x{over_opening:.2f}")
+    assert over_opening >= 1.0
+
+
+def test_ablation_path_policy(benchmark, problem):
+    def run():
+        hops = solve_approximation(problem)
+        cont_problem = CachingProblem(
+            graph=problem.graph,
+            producer=problem.producer,
+            num_chunks=problem.num_chunks,
+            capacity=problem.capacity,
+            path_policy=PATH_POLICY_CONTENTION,
+        )
+        contention = solve_approximation(cont_problem)
+        return hops, contention
+
+    hops, contention = benchmark.pedantic(run, rounds=1, iterations=1)
+    hop_cost = evaluate_contention(hops).total
+    cont_cost = evaluate_contention(contention).total
+    print(f"\nhop-path total={hop_cost:,.0f} "
+          f"contention-path total={cont_cost:,.0f}")
+    # both must be feasible; contention routing should not be wildly worse
+    hops.validate()
+    contention.validate()
+    assert cont_cost <= 1.5 * hop_cost

@@ -1,0 +1,29 @@
+"""Theorem 1 — empirical approximation ratio against the exact optimum.
+
+Paper: the iterated primal-dual scheme preserves the 6.55 ConFL ratio;
+empirically they observe at most 5.6.  Single-chunk rows compare against
+the true per-instance optimum (ratio >= 1 by construction).
+"""
+
+from repro.experiments import approximation_ratio
+
+from conftest import column_of
+
+
+def test_approx_ratio(run_experiment):
+    result = run_experiment(approximation_ratio.run)
+
+    ratios = [
+        row for row in result.rows if row[0] != "WORST"
+    ]
+    assert ratios
+    index = list(result.headers).index("ratio")
+    chunk_index = list(result.headers).index("chunks")
+    for row in ratios:
+        assert row[index] <= 6.55, row
+        if row[chunk_index] == 1:
+            # single-chunk rows are true-optimum comparisons
+            assert row[index] >= 1.0 - 1e-9, row
+
+    worst = [row for row in result.rows if row[0] == "WORST"][0]
+    assert worst[index] <= 6.55

@@ -1,0 +1,25 @@
+"""Fig. 1 — chunk distribution vs the brute-force optimum.
+
+Paper shape: Hopc/Cont concentrate every chunk on one fixed node set, so
+their per-node deviation from the optimum is large; Appx/Dist distribute
+chunks with small deviations.
+"""
+
+from repro.experiments import fig1_chunk_distribution
+
+from conftest import column_of, series
+
+
+def test_fig1_chunk_distribution(run_experiment):
+    result = run_experiment(fig1_chunk_distribution.run)
+
+    totals = {}
+    for algorithm in ("Appx", "Dist", "Hopc", "Cont"):
+        rows = series(result, algorithm=algorithm, node="TOTAL")
+        assert rows, f"missing TOTAL row for {algorithm}"
+        totals[algorithm] = column_of(rows, result, "delta")[0]
+
+    # Fair algorithms track the optimum far better than the baselines.
+    assert totals["Appx"] < totals["Hopc"]
+    assert totals["Appx"] < totals["Cont"]
+    assert totals["Dist"] < totals["Hopc"]

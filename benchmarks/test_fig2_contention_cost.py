@@ -1,0 +1,37 @@
+"""Fig. 2 — total contention cost on small and large grids.
+
+Paper shape: Appx/Dist land far below Hopc (paper: ~52-62% lower) and
+within ~10% of Cont; on small grids the Appx total stays within the 6.55
+ratio of the brute-force reference.
+"""
+
+from repro.experiments import fig2_contention_cost
+
+from conftest import column_of, series
+
+
+def test_fig2_contention_cost(run_experiment):
+    result = run_experiment(fig2_contention_cost.run)
+
+    sizes = sorted({row[0] for row in result.rows})
+    for size in sizes:
+        costs = {}
+        for algorithm in ("Appx", "Dist", "Hopc", "Cont"):
+            rows = series(result, nodes=size, algorithm=algorithm)
+            costs[algorithm] = column_of(rows, result, "total")[0]
+        # ours beat the hop-count baseline decisively
+        assert costs["Appx"] < costs["Hopc"]
+        assert costs["Dist"] < costs["Hopc"]
+        # and stay competitive with the contention baseline
+        assert costs["Appx"] <= 1.15 * costs["Cont"]
+
+    # small-regime rows include the brute-force reference within ratio
+    for size in {row[0] for row in result.rows if row[1] == "small"}:
+        brtf_rows = series(result, nodes=size, algorithm="Brtf")
+        if not brtf_rows:
+            continue
+        brtf = column_of(brtf_rows, result, "total")[0]
+        appx = column_of(
+            series(result, nodes=size, algorithm="Appx"), result, "total"
+        )[0]
+        assert appx <= 6.55 * brtf

@@ -1,0 +1,41 @@
+"""Fig. 3 — distributed algorithm vs message hop limit.
+
+Paper shape: k = 1 gives nodes too little information — few caches are
+selected and the accessing cost is high; k >= 2 plateaus.
+"""
+
+from repro.experiments import fig3_hop_limit
+
+from conftest import column_of, series
+
+
+def test_fig3_hop_limit(run_experiment):
+    result = run_experiment(fig3_hop_limit.run)
+
+    # At the M=4 threshold (strict support pool), k=1 must clearly degrade.
+    k1 = series(result, span_threshold=4, hop_limit=1)
+    k2 = series(result, span_threshold=4, hop_limit=2)
+    assert k1 and k2
+    caches_k1 = column_of(k1, result, "total_caches")[0]
+    caches_k2 = column_of(k2, result, "total_caches")[0]
+    access_k1 = column_of(k1, result, "access")[0]
+    access_k2 = column_of(k2, result, "access")[0]
+    assert caches_k1 < caches_k2      # "very few caching nodes are selected"
+    assert access_k1 > access_k2      # "high Contention Cost in Accessing"
+
+    # k >= 2 plateaus: totals within a few percent of each other.
+    plateau = [
+        column_of(series(result, span_threshold=4, hop_limit=k), result, "total")[0]
+        for k in (2, 3)
+        if series(result, span_threshold=4, hop_limit=k)
+    ]
+    if len(plateau) == 2:
+        assert abs(plateau[0] - plateau[1]) <= 0.05 * plateau[0]
+
+    # messages grow with k (larger CC floods) — the cost of more info
+    messages = [
+        column_of(series(result, span_threshold=4, hop_limit=k), result,
+                  "messages")[0]
+        for k in (1, 2)
+    ]
+    assert messages[0] < messages[1]

@@ -1,0 +1,26 @@
+"""Fig. 4 — contention cost on random networks (run-averaged).
+
+Paper shape: Appx/Dist at or below Cont and far below Hopc across sizes.
+"""
+
+from repro.experiments import fig4_random_networks
+
+from conftest import column_of, series
+
+
+def test_fig4_random_networks(run_experiment):
+    result = run_experiment(fig4_random_networks.run)
+
+    sizes = sorted({row[0] for row in result.rows})
+    for size in sizes:
+        totals = {
+            algorithm: column_of(
+                series(result, nodes=size, algorithm=algorithm),
+                result, "total",
+            )[0]
+            for algorithm in ("Appx", "Dist", "Hopc", "Cont")
+        }
+        assert totals["Appx"] < totals["Hopc"]
+        assert totals["Dist"] < totals["Hopc"]
+        assert totals["Appx"] <= 1.2 * totals["Cont"]
+        assert totals["Dist"] <= 1.25 * totals["Cont"]

@@ -1,0 +1,48 @@
+"""Fig. 5 — running time to place one chunk vs grid size.
+
+Paper claim: Appx is 21.6% / 85.1% faster per chunk than Cont / Hopc.
+That ordering is **not reproducible against this repo's baselines**: the
+paper's own complexity analysis puts its Hopc implementation at
+O(|V||E|^3), whereas our greedy Hopc is O(k·N^2) — a faster baseline than
+the one the paper raced against (recorded in EXPERIMENTS.md).  What *is*
+reproducible, and asserted here: all three algorithms grow polynomially,
+Algorithm 1 stays within a small constant factor of the best-implemented
+baseline, and nothing blows up super-polynomially.
+"""
+
+from repro.experiments import fig5_running_time
+
+from conftest import column_of, series
+
+
+def test_fig5_running_time(run_experiment):
+    result = run_experiment(fig5_running_time.run)
+
+    sizes = sorted({row[0] for row in result.rows})
+    for size in sizes:
+        times = {
+            algorithm: column_of(
+                series(result, nodes=size, algorithm=algorithm),
+                result, "seconds",
+            )[0]
+            for algorithm in ("Appx", "Hopc", "Cont")
+        }
+        fastest = min(times.values())
+        # Appx stays within a small constant factor of the best baseline.
+        assert times["Appx"] <= max(5 * fastest, 0.01), (size, times)
+
+    # polynomial growth sanity for every algorithm:
+    for algorithm in ("Appx", "Hopc", "Cont"):
+        per_size = [
+            column_of(series(result, nodes=size, algorithm=algorithm),
+                      result, "seconds")[0]
+            for size in sizes
+        ]
+        # biggest grid slower than smallest...
+        assert per_size[-1] >= per_size[0]
+        # ...but no worse than ~N^4 growth between consecutive sizes
+        for (n1, t1), (n2, t2) in zip(
+            zip(sizes, per_size), zip(sizes[1:], per_size[1:])
+        ):
+            if t1 > 1e-4:  # below that, timer noise dominates
+                assert t2 / t1 <= ((n2 / n1) ** 4) * 2, (algorithm, n1, n2)

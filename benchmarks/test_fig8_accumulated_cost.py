@@ -1,0 +1,54 @@
+"""Fig. 8 — accumulated contention cost vs number of distinct chunks.
+
+Two claims under their respective accountings (see the experiment module):
+accumulated — ours grow slower and end below the baselines; final-state —
+the baselines show a capacity cliff when chunks cross 5 → 6 (capacity 5).
+"""
+
+from repro.experiments import fig8_accumulated_cost
+
+from conftest import column_of, series
+
+
+def _col(result, side, count, algorithm, column):
+    rows = series(result, grid_side=side, num_chunks=count,
+                  algorithm=algorithm)
+    return column_of(rows, result, column)[0] if rows else None
+
+
+def test_fig8_accumulated_cost(run_experiment):
+    result = run_experiment(fig8_accumulated_cost.run)
+    sides = sorted({row[0] for row in result.rows})
+    counts = sorted({row[1] for row in result.rows})
+
+    for side in sides:
+        # accumulated totals grow monotonically for every algorithm
+        for algorithm in ("Appx", "Dist", "Hopc", "Cont"):
+            costs = [_col(result, side, c, algorithm, "total_cost")
+                     for c in counts]
+            assert all(
+                a <= b + 1e-9 for a, b in zip(costs, costs[1:])
+            ), (side, algorithm, costs)
+
+        # ours end below the baselines on the accumulated measure
+        final_count = counts[-1]
+        totals = {
+            algorithm: _col(result, side, final_count, algorithm, "total_cost")
+            for algorithm in ("Appx", "Dist", "Hopc", "Cont")
+        }
+        assert totals["Appx"] < totals["Hopc"]
+        assert totals["Dist"] < totals["Hopc"]
+        assert totals["Appx"] < totals["Cont"]
+
+        # the capacity cliff at 5 -> 6 (final-state pricing): the
+        # baselines' jump exceeds the fair algorithms'.  The cliff is a
+        # capacity-pressure phenomenon, so it shows on the tight 4x4 grid
+        # (the paper's Fig. 8a highlights it there too); on 8x8 the second
+        # node set is still well-placed and the cliff washes out — see
+        # EXPERIMENTS.md.
+        if side == 4 and 5 in counts and 6 in counts:
+            def jump(algorithm):
+                return (_col(result, side, 6, algorithm, "final_state_cost")
+                        - _col(result, side, 5, algorithm, "final_state_cost"))
+
+            assert max(jump("Hopc"), jump("Cont")) > jump("Appx"), side

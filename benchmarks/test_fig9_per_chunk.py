@@ -1,0 +1,51 @@
+"""Fig. 9 — per-chunk contention cost with 10 distinct chunks.
+
+Assertions per accounting (see the experiment module): the baselines'
+two-plateau structure lives in the final-state pricing; the set switch at
+chunk 5 shows as a cost discontinuity in the accumulated pricing; and the
+fair algorithms keep per-chunk costs evener than the worst baseline.
+"""
+
+import statistics
+
+from repro.experiments import fig9_per_chunk
+
+from conftest import column_of, series
+
+
+def test_fig9_per_chunk(run_experiment):
+    result = run_experiment(fig9_per_chunk.run)
+    sides = sorted({row[0] for row in result.rows})
+
+    for side in sides:
+        # evenness: our final-state spread beats the worst baseline's
+        spreads = {}
+        for algorithm in ("Appx", "Dist", "Hopc", "Cont"):
+            rows = series(result, grid_side=side, algorithm=algorithm,
+                          chunk="stdev")
+            spreads[algorithm] = column_of(rows, result, "final_cost")[0]
+        worst_baseline = max(spreads["Hopc"], spreads["Cont"])
+        assert spreads["Appx"] < worst_baseline
+        assert spreads["Dist"] < worst_baseline
+
+        # final-state pricing: Hopc's chunks 0-4 form one plateau and
+        # 5-9 another (two node sets), with a clear gap between them
+        hopc_final = [
+            column_of(series(result, grid_side=side, algorithm="Hopc",
+                             chunk=c), result, "final_cost")[0]
+            for c in range(10)
+        ]
+        first, last = hopc_final[:5], hopc_final[5:]
+        gap = abs(statistics.mean(last) - statistics.mean(first))
+        wobble = max(statistics.pstdev(first), statistics.pstdev(last))
+        assert gap > 0.5 * wobble or wobble < 1e-9, (first, last)
+
+        # accumulated pricing: the set switch at chunk 5 resets Hopc's
+        # stage cost downward (fresh empty nodes), a discontinuity the
+        # smoothly-rising fair algorithms don't show as sharply
+        hopc_stage = [
+            column_of(series(result, grid_side=side, algorithm="Hopc",
+                             chunk=c), result, "stage_cost")[0]
+            for c in range(10)
+        ]
+        assert hopc_stage[5] < hopc_stage[4], hopc_stage

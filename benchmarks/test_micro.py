@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the core primitives (classic pytest-benchmark use).
+
+These track the per-operation costs that dominate the macro experiments:
+the dual ascent, the ConFL instance build (all-pairs contention costs),
+Steiner trees, and the full per-chunk placement of each algorithm family.
+"""
+
+import pytest
+
+from repro import grid_problem, solve_approximation
+from repro.baselines import solve_contention, solve_hopcount
+from repro.core import build_confl_instance, dual_ascent
+from repro.distributed import solve_distributed
+from repro.exact.local_search import optimize_chunk_local
+from repro.graphs import floyd_warshall, grid_graph, steiner_tree
+from repro.graphs.steiner import dreyfus_wagner
+
+
+@pytest.fixture(scope="module")
+def grid8():
+    return grid_graph(8)
+
+
+@pytest.fixture(scope="module")
+def instance6():
+    return build_confl_instance(grid_problem(6).new_state())
+
+
+def test_bench_confl_instance_build(benchmark):
+    state = grid_problem(6).new_state()
+    benchmark(build_confl_instance, state)
+
+
+def test_bench_dual_ascent_6x6(benchmark, instance6):
+    result = benchmark(dual_ascent, instance6)
+    assert result.admins
+
+
+def test_bench_steiner_kmb_8x8(benchmark, grid8):
+    terminals = [0, 7, 27, 36, 56, 63]
+    tree = benchmark(steiner_tree, grid8, terminals)
+    assert all(t in tree for t in terminals)
+
+
+def test_bench_steiner_exact_5x5(benchmark):
+    g = grid_graph(5)
+    cost, _ = benchmark(dreyfus_wagner, g, [0, 4, 20, 24, 12])
+    assert cost > 0
+
+
+def test_bench_floyd_warshall_8x8(benchmark, grid8):
+    dist = benchmark(floyd_warshall, grid8)
+    assert dist[0][63] == 14.0
+
+
+def test_bench_appx_full_6x6(benchmark):
+    problem = grid_problem(6)
+    placement = benchmark.pedantic(
+        solve_approximation, args=(problem,), rounds=1, iterations=1
+    )
+    placement.validate()
+
+
+def test_bench_distributed_full_6x6(benchmark):
+    problem = grid_problem(6)
+    outcome = benchmark.pedantic(
+        solve_distributed, args=(problem,), rounds=1, iterations=1
+    )
+    outcome.placement.validate()
+
+
+def test_bench_hopcount_full_6x6(benchmark):
+    problem = grid_problem(6)
+    placement = benchmark.pedantic(
+        solve_hopcount, args=(problem,), rounds=1, iterations=1
+    )
+    placement.validate()
+
+
+def test_bench_contention_full_6x6(benchmark):
+    problem = grid_problem(6)
+    placement = benchmark.pedantic(
+        solve_contention, args=(problem,), rounds=1, iterations=1
+    )
+    placement.validate()
+
+
+def test_bench_local_search_chunk_6x6(benchmark, instance6):
+    caches, _, _, obj = benchmark.pedantic(
+        optimize_chunk_local, args=(instance6,), rounds=1, iterations=1
+    )
+    assert obj > 0

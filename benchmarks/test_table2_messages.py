@@ -1,0 +1,36 @@
+"""Table II — distributed-algorithm message counts and the O(QN + N²) bound.
+
+Paper claims: NPI = Q·N deliveries; CC/TIGHT/SPAN dominate; the total
+stays O(QN + N²), i.e. the TOTAL/(QN + N²) ratio must not grow with N.
+"""
+
+from repro.experiments import table2_messages
+
+from conftest import column_of, series
+
+
+def test_table2_messages(run_experiment):
+    result = run_experiment(table2_messages.run)
+    sizes = sorted({row[0] for row in result.rows})
+
+    ratios = []
+    for n in sizes:
+        npi = column_of(series(result, nodes=n, type="NPI"), result,
+                        "messages")[0]
+        assert npi == 5 * (n - 1)  # Q chunks × (N-1) client deliveries
+
+        per_type = {
+            t: column_of(series(result, nodes=n, type=t), result,
+                         "messages")[0]
+            for t in ("CC", "TIGHT", "SPAN", "FREEZE", "NADMIN")
+        }
+        # CC / TIGHT / SPAN dominate the unicast control traffic
+        assert per_type["CC"] > per_type["FREEZE"]
+        assert per_type["CC"] > per_type["NADMIN"]
+
+        ratio_rows = series(result, nodes=n, type="TOTAL/(QN+N^2)")
+        ratios.append(column_of(ratio_rows, result, "messages")[0])
+
+    # Bounded scaling: the normalized total must not blow up with N.
+    assert ratios[-1] <= ratios[0] * 1.5
+    assert all(r < 10 for r in ratios)

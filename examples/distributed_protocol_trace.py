@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Trace the distributed protocol (Algorithm 2) on a small edge network.
+
+Runs the message-passing algorithm on a 4x4 grid and prints what a
+network observer would see: the Table II message mix, bidding rounds per
+chunk, who promoted themselves to ADMIN, and how the hop limit k changes
+the outcome (the Fig. 3 experiment in miniature).
+
+Run:  python examples/distributed_protocol_trace.py
+"""
+
+from repro import DistributedConfig, grid_problem, solve_distributed
+from repro.distributed import ALL_TYPES
+from repro.metrics import evaluate_contention
+
+
+def main() -> None:
+    problem = grid_problem(4, num_chunks=3)
+    print(f"network: 4x4 grid, producer {problem.producer}, "
+          f"{problem.num_chunks} chunks\n")
+
+    outcome = solve_distributed(problem, DistributedConfig(hop_limit=2))
+    outcome.placement.validate()
+
+    print("per-chunk protocol outcome (k = 2):")
+    for chunk, ticks in zip(outcome.placement.chunks, outcome.ticks_per_chunk):
+        print(f"  chunk {chunk.chunk}: {ticks:3d} bidding rounds -> "
+              f"ADMINs {sorted(chunk.caches)}")
+
+    print("\nmessage mix (Table II):")
+    stats = outcome.stats
+    width = max(len(t) for t in ALL_TYPES)
+    for msg_type in ALL_TYPES:
+        print(f"  {msg_type:<{width}}  {stats.messages[msg_type]:5d} messages"
+              f"  ({stats.transmissions[msg_type]:5d} hop-transmissions)")
+    n = problem.graph.num_nodes
+    bound = problem.num_chunks * n + n * n
+    print(f"  total {stats.total_messages()} messages; "
+          f"O(QN + N^2) scale = {bound} -> ratio "
+          f"{stats.total_messages() / bound:.2f}")
+
+    print("\nhop-limit sweep (Fig. 3 in miniature, span threshold 4):")
+    for k in (1, 2, 3):
+        config = DistributedConfig(hop_limit=k, span_threshold=4)
+        sweep = solve_distributed(problem, config)
+        report = evaluate_contention(sweep.placement)
+        copies = sweep.placement.total_copies()
+        print(f"  k={k}: {copies:2d} cached copies, "
+              f"access contention {report.access:7,.0f}, "
+              f"total {report.total:7,.0f}")
+    print("\nk=1 starves candidates of SPAN supporters -> few caches and "
+          "costly access;\nk>=2 plateaus, which is why the paper fixes "
+          "k=2 to bound message overhead.")
+
+
+if __name__ == "__main__":
+    main()

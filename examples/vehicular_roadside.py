@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Vehicular scenario: heterogeneous roadside/vehicle caching on a street grid.
+
+Connected vehicles and roadside cameras on a downtown street grid share
+map tiles and hazard-camera footage (Sec. I lists both as edge devices).
+Unlike the homogeneous evaluation setup, devices here donate *different*
+amounts of storage: parked cars and roadside units are generous, moving
+cars offer little — exactly the situation the Fairness Degree Cost
+(Eq. 1) is built for, since f_i = S/(S_tot - S) rises fastest on the
+small donors.
+
+The example shows that the fair algorithm automatically shifts load onto
+the big donors *without being told to*, and translates contention costs
+into estimated 802.11 retrieval latency via the DCF model (Sec. III-C).
+
+Run:  python examples/vehicular_roadside.py
+"""
+
+from repro import (
+    CachingProblem,
+    evaluate_contention,
+    gini_coefficient,
+    solve_approximation,
+    solve_contention,
+)
+from repro.delay import DcfParameters, contention_cost_to_delay
+from repro.graphs import grid_graph
+
+SIDE = 5  # 5x5 street-corner grid
+NUM_CHUNKS = 8  # map tiles + camera clips
+
+
+def donated_storage(node: int) -> int:
+    """Roadside units (grid corners + center) donate 8 slots, parked cars
+    (even nodes) 4, moving cars (the rest) just 1."""
+    corners = {0, SIDE - 1, SIDE * (SIDE - 1), SIDE * SIDE - 1}
+    center = (SIDE // 2) * SIDE + SIDE // 2
+    if node in corners or node == center:
+        return 8
+    if node % 2 == 0:
+        return 4
+    return 1
+
+
+def main() -> None:
+    graph = grid_graph(SIDE)
+    producer = 2  # an uplinked roadside unit mid-block
+    capacity = {node: donated_storage(node) for node in graph.nodes()}
+    problem = CachingProblem(
+        graph=graph,
+        producer=producer,
+        num_chunks=NUM_CHUNKS,
+        capacity=capacity,
+    )
+    big = sorted(n for n in graph.nodes() if capacity[n] >= 8)
+    small = sorted(n for n in graph.nodes() if capacity[n] == 1)
+    print(f"street grid: {SIDE}x{SIDE}, producer RSU at node {producer}")
+    print(f"roadside units (8 slots): {big}")
+    print(f"moving cars (1 slot):     {small}\n")
+
+    for label, solver in (
+        ("fair approximation", solve_approximation),
+        ("contention baseline [4]", solve_contention),
+    ):
+        placement = solver(problem)
+        placement.validate()
+        loads = placement.loads()
+        on_small = sum(loads[n] for n in small)
+        on_big = sum(loads[n] for n in big)
+        report = evaluate_contention(placement)
+        # Translate the access contention into estimated 802.11 latency.
+        params = DcfParameters()
+        hops = sum(len(c.assignment) for c in placement.chunks)
+        latency = contention_cost_to_delay(report.access, hops, params)
+        per_fetch = latency / max(1, hops)
+        # Fairness relative to what each device DONATED: Gini of the
+        # fraction of donated storage actually consumed.
+        utilization = [
+            loads[n] / capacity[n]
+            for n in graph.nodes()
+            if n != producer and capacity[n] > 0
+        ]
+        print(f"== {label} ==")
+        print(f"  chunks on 1-slot cars      : {on_small} "
+              f"(of {placement.total_copies()} copies)")
+        print(f"  chunks on roadside units   : {on_big}")
+        print(f"  Gini of storage burden     : "
+              f"{gini_coefficient(utilization):.3f} "
+              "(share of donation consumed)")
+        print(f"  total contention           : {report.total:,.0f}")
+        print(f"  est. mean fetch latency    : {per_fetch * 1e3:,.0f} ms "
+              "(802.11b DCF model)")
+        print()
+
+    print("the baseline fills every 1-slot car to 100% of its donation and "
+          "never touches\nthe roadside units; the fair placement spreads the "
+          "burden -- Eq. 1 makes a\nnearly-full small donor prohibitively "
+          "'expensive' to pick again.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Fair caching algorithms for peer data sharing in pervasive edge computing.
+
+A from-scratch reproduction of Huang, Song, Ye, Yang & Li, *"Fair Caching
+Algorithms for Peer Data Sharing in Pervasive Edge Computing
+Environments"* (ICDCS 2017):
+
+* :func:`solve_approximation` — the 6.55-approximation Algorithm 1
+  (iterated primal-dual ConFL dual ascent),
+* :func:`solve_distributed` — the message-passing Algorithm 2 on a
+  discrete-event simulator,
+* :func:`solve_exact` — the brute-force optimum reference (``Brtf``),
+* :func:`solve_hopcount` / :func:`solve_contention` — the comparison
+  baselines [13] / [4],
+* metrics (Gini, p-percentile fairness, contention accounting), workload
+  generators, and one experiment runner per figure/table of the paper.
+
+Quickstart
+----------
+>>> from repro import grid_problem, solve_approximation, total_contention_cost
+>>> problem = grid_problem(6)          # the paper's 6x6 grid, producer 9
+>>> placement = solve_approximation(problem)
+>>> placement.validate()
+>>> cost = total_contention_cost(placement)
+"""
+
+from repro.core import (
+    ApproximationConfig,
+    CachePlacement,
+    CachingProblem,
+    ChunkPlacement,
+    DualAscentConfig,
+    StageCost,
+    StorageState,
+    solve_approximation,
+    solve_approximation_timed,
+)
+from repro.baselines import solve_contention, solve_hopcount, solve_random
+from repro.distributed import DistributedConfig, MessageStats, solve_distributed
+from repro.exact import solve_exact
+from repro.graphs import Graph, grid_graph, random_geometric_graph
+from repro.io import load_placement, save_placement
+from repro.metrics import (
+    evaluate_contention,
+    gini_coefficient,
+    percentile_fairness,
+    placement_gini,
+    placement_percentile_fairness,
+    total_contention_cost,
+)
+from repro.workloads import grid_problem, random_problem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximationConfig",
+    "CachePlacement",
+    "CachingProblem",
+    "ChunkPlacement",
+    "DistributedConfig",
+    "DualAscentConfig",
+    "Graph",
+    "MessageStats",
+    "StageCost",
+    "StorageState",
+    "__version__",
+    "evaluate_contention",
+    "gini_coefficient",
+    "grid_graph",
+    "load_placement",
+    "grid_problem",
+    "percentile_fairness",
+    "placement_gini",
+    "placement_percentile_fairness",
+    "random_geometric_graph",
+    "random_problem",
+    "save_placement",
+    "solve_approximation",
+    "solve_approximation_timed",
+    "solve_contention",
+    "solve_distributed",
+    "solve_exact",
+    "solve_hopcount",
+    "solve_random",
+    "total_contention_cost",
+]

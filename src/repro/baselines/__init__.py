@@ -1,0 +1,25 @@
+"""Comparison baselines: Hopc [13], Cont [4], their multi-item extension,
+and a random reference placement."""
+
+from repro.baselines.contention import solve_contention
+from repro.baselines.greedy_confl import greedy_chunk_selection, solve_greedy_confl
+from repro.baselines.hopcount import solve_hopcount
+from repro.baselines.multi_item import solve_static_baseline
+from repro.baselines.random_cache import solve_random
+from repro.baselines.selection import (
+    contention_cost_rows,
+    greedy_select,
+    hop_cost_rows,
+)
+
+__all__ = [
+    "contention_cost_rows",
+    "greedy_chunk_selection",
+    "solve_greedy_confl",
+    "greedy_select",
+    "hop_cost_rows",
+    "solve_contention",
+    "solve_hopcount",
+    "solve_random",
+    "solve_static_baseline",
+]

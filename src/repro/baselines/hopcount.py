@@ -1,0 +1,24 @@
+"""Hop Count-based caching baseline (Hopc) — Nuggehalli et al. [13].
+
+Delay between two nodes is modelled as their hop count; caching nodes are
+selected greedily to minimize total hop-count access cost plus ``λ`` times
+the wiring cost (λ = 1, Sec. V-A).  The selection ignores cached state, so
+every chunk lands on the same node set until storage runs out, at which
+point the multi-item extension recurses on the remaining subgraph
+(Sec. V-B; :mod:`repro.baselines.multi_item`).
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import CachePlacement
+from repro.core.problem import CachingProblem
+from repro.baselines.multi_item import solve_static_baseline
+
+ALGORITHM_NAME = "hopcount"
+
+
+def solve_hopcount(problem: CachingProblem, lam: float = 1.0) -> CachePlacement:
+    """Run the Hopc baseline on ``problem``."""
+    placement = solve_static_baseline(problem, metric="hops", lam=lam)
+    placement.algorithm = ALGORITHM_NAME
+    return placement

@@ -1,0 +1,40 @@
+"""Random caching baseline (reference point, not from the paper).
+
+Places each chunk on ``caches_per_chunk`` uniformly random nodes with
+spare storage.  Random placement is trivially fair in expectation but pays
+no attention to contention, so it brackets the fairness-vs-latency
+trade-off from the other side: comparing against it shows how much access
+cost the paper's algorithms save *while staying fair*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.commit import commit_chunk
+from repro.core.placement import CachePlacement, ChunkPlacement
+from repro.core.problem import CachingProblem
+
+ALGORITHM_NAME = "random"
+
+
+def solve_random(
+    problem: CachingProblem,
+    caches_per_chunk: int = 5,
+    seed: Optional[int] = None,
+) -> CachePlacement:
+    """Place every chunk on up to ``caches_per_chunk`` random nodes."""
+    if caches_per_chunk < 0:
+        raise ValueError("caches_per_chunk must be >= 0")
+    rng = random.Random(seed)
+    state = problem.new_state()
+    placements: List[ChunkPlacement] = []
+    for chunk in problem.chunks:
+        eligible = [
+            node for node in problem.clients if state.can_cache(node)
+        ]
+        count = min(caches_per_chunk, len(eligible))
+        caches = rng.sample(eligible, count) if count else []
+        placements.append(commit_chunk(state, chunk, caches))
+    return CachePlacement(problem=problem, chunks=placements, algorithm=ALGORITHM_NAME)

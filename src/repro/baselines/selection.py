@@ -1,0 +1,135 @@
+"""Greedy caching-node selection for the comparison baselines.
+
+The two baselines of Sec. V pick *one* set of caching nodes from the
+topology alone, ignoring storage state:
+
+* **Hop Count-based (Hopc)** — Nuggehalli et al. [13]: delay cost is the
+  hop count between nodes.
+* **Contention-based (Cont)** — Sung et al. [4]: delay cost is the path
+  contention of the (initially empty) network.
+
+Both are facility-location heuristics: greedily add the node whose
+selection most reduces total access cost, charging ``λ`` times the cost of
+wiring the new cache to the existing cache set / producer for the
+dissemination ("λ in both algorithms [is set] to 1", Sec. V-A).  Selection
+stops when no node yields a positive net gain.
+
+Because neither metric depends on what is already cached, re-running the
+selection for another chunk returns the same set — exactly the behavior
+the paper criticizes ("They will always choose the same group of nodes
+for each chunk").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_all_hop_counts
+from repro.core.costs import CostModel
+from repro.core.storage import StorageState
+
+Node = Hashable
+
+METRIC_HOPS = "hops"
+METRIC_CONTENTION = "contention"
+
+# Relative-gain stopping thresholds calibrated so that, on the paper's 6×6
+# grid with producer 9, Hopc selects a 2-node set ("50% of the total data
+# chunks are distributed in one node", Fig. 6) and Cont a 10-node set
+# ("5 nodes" hold 50% of its copies).  See greedy_select and DESIGN.md §5.
+HOPC_REL_THRESHOLD = 0.17
+CONT_REL_THRESHOLD = 0.06
+
+
+def hop_cost_rows(graph: Graph, sources: Sequence[Node]) -> Dict[Node, Dict[Node, float]]:
+    """Hop-count distance rows for each source (the Hopc metric)."""
+    return {
+        source: {k: float(v) for k, v in bfs_all_hop_counts(graph, source).items()}
+        for source in sources
+    }
+
+
+def contention_cost_rows(
+    graph: Graph, sources: Sequence[Node], producer: Node
+) -> Dict[Node, Dict[Node, float]]:
+    """Empty-network contention rows for each source (the Cont metric).
+
+    Uses Eq. 2 with ``S(k) = 0`` everywhere, i.e. path costs are summed
+    node degrees — the static view of [4].
+    """
+    empty = StorageState(graph.nodes(), 0, producer=None)
+    model = CostModel(graph, empty)
+    return {source: model.all_contention_costs(source) for source in sources}
+
+
+def greedy_select(
+    graph: Graph,
+    producer: Node,
+    clients: Sequence[Node],
+    candidates: Sequence[Node],
+    cost_rows: Dict[Node, Dict[Node, float]],
+    lam: float = 1.0,
+    rel_threshold: float = 0.0,
+) -> List[Node]:
+    """Greedy facility-location selection of caching nodes.
+
+    Starting from "everyone fetches from the producer", repeatedly add the
+    candidate ``i`` maximizing::
+
+        gain(i) = Σ_j [d(best_j) - d(i, j)]⁺  -  λ · wire(i)
+
+    where ``best_j`` is client ``j``'s current cheapest server and
+    ``wire(i)`` is the distance from ``i`` to the nearest already-selected
+    server (producer included) — the incremental dissemination cost.
+
+    Stopping rule: selection ends when the best candidate's *saving* drops
+    below ``rel_threshold`` times the current total access cost, or when no
+    candidate has positive net gain.  The relative threshold is how we
+    calibrate each baseline's characteristic set size — the reproduced
+    paper reports the resulting behavior (Hopc concentrates ~50% of data
+    on a single node, Cont on ~5 of its set) but not the internal
+    constants of [13]/[4]; see DESIGN.md §5.
+
+    ``cost_rows[s][t]`` must give the metric distance from ``s`` to ``t``
+    for every candidate and the producer.
+    """
+    if producer not in cost_rows:
+        raise ValueError("cost_rows must include the producer's row")
+    if rel_threshold < 0:
+        raise ValueError("rel_threshold must be >= 0")
+    best_cost: Dict[Node, float] = {
+        j: cost_rows[producer][j] for j in clients
+    }
+    selected: List[Node] = []
+    remaining = [c for c in candidates if c != producer]
+
+    while remaining:
+        current_total = sum(best_cost.values())
+        best_gain = 0.0
+        best_saving = 0.0
+        best_node = None
+        for i in remaining:
+            row = cost_rows[i]
+            saving = 0.0
+            for j in clients:
+                diff = best_cost[j] - row[j]
+                if diff > 0:
+                    saving += diff
+            wire = min(cost_rows[i][anchor] for anchor in [producer] + selected)
+            gain = saving - lam * wire
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_saving = saving
+                best_node = i
+        if best_node is None:
+            break
+        if best_saving < rel_threshold * current_total:
+            break
+        selected.append(best_node)
+        remaining.remove(best_node)
+        row = cost_rows[best_node]
+        for j in clients:
+            if row[j] < best_cost[j]:
+                best_cost[j] = row[j]
+    return selected

@@ -1,0 +1,150 @@
+"""Command-line interface: run the paper's experiments or a single solve.
+
+Examples
+--------
+Regenerate a figure's data (fast mode trims sweeps)::
+
+    fair-caching experiment fig6
+    fair-caching experiment fig2 --fast
+
+Solve one instance and print the placement summary::
+
+    fair-caching solve --grid 6 --chunks 5 --algorithm appx
+    fair-caching solve --random 60 --seed 7 --algorithm dist
+
+List everything available::
+
+    fair-caching list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import REGISTRY, run_algorithms, summarize
+from repro.experiments.report import render_table
+from repro.workloads import grid_problem, random_problem
+
+_ALGO_ALIASES = {
+    "appx": "Appx",
+    "dist": "Dist",
+    "brtf": "Brtf",
+    "hopc": "Hopc",
+    "cont": "Cont",
+    "greedy": "Greedy",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fair-caching",
+        description="Fair caching for peer data sharing (ICDCS 2017 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    exp.add_argument(
+        "id", choices=sorted(REGISTRY) + ["all"],
+        help="experiment id, or 'all'",
+    )
+    exp.add_argument(
+        "--fast", action="store_true",
+        help="trimmed sweep sizes (what the benchmarks run)",
+    )
+
+    solve = sub.add_parser("solve", help="solve one caching instance")
+    group = solve.add_mutually_exclusive_group(required=True)
+    group.add_argument("--grid", type=int, metavar="SIDE",
+                       help="SIDE x SIDE grid network")
+    group.add_argument("--random", type=int, metavar="NODES",
+                       help="connected random network with NODES nodes")
+    solve.add_argument("--chunks", type=int, default=5)
+    solve.add_argument("--capacity", type=int, default=5)
+    solve.add_argument("--seed", type=int, default=2017,
+                       help="seed for --random topologies")
+    solve.add_argument(
+        "--algorithm", default="appx",
+        choices=sorted(_ALGO_ALIASES) + sorted(_ALGO_ALIASES.values()),
+    )
+    solve.add_argument(
+        "--show-map", action="store_true",
+        help="print a per-node load map (grid topologies only)",
+    )
+
+    sub.add_parser("list", help="list experiments and algorithms")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = sorted(REGISTRY) if args.id == "all" else [args.id]
+    for index, experiment_id in enumerate(ids):
+        if index:
+            print()
+        result = REGISTRY[experiment_id](fast=args.fast)
+        print(result.to_text())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.grid is not None:
+        problem = grid_problem(
+            args.grid, num_chunks=args.chunks, capacity=args.capacity
+        )
+        label = f"{args.grid}x{args.grid} grid"
+    else:
+        problem, _ = random_problem(
+            args.random, seed=args.seed, num_chunks=args.chunks,
+            capacity=args.capacity,
+        )
+        label = f"random network ({args.random} nodes, seed {args.seed})"
+    name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
+    placements = run_algorithms(problem, [name])
+    placement = placements[name]
+    s = summarize(name, placement)
+    print(f"{name} on {label}: {problem.num_chunks} chunks, "
+          f"capacity {args.capacity}")
+    rows = [
+        ["total contention cost", s.total_cost],
+        ["  accessing phase", s.access_cost],
+        ["  dissemination phase", s.dissemination_cost],
+        ["Gini coefficient", s.gini],
+        ["75-percentile fairness", s.p75_fairness],
+        ["caching nodes used", s.nodes_used],
+        ["total chunk copies", s.total_copies],
+    ]
+    print(render_table(["metric", "value"], rows))
+    print()
+    for chunk in placement.chunks:
+        print(f"chunk {chunk.chunk}: cached at "
+              f"{sorted(chunk.caches, key=str)}")
+    if getattr(args, "show_map", False):
+        if args.grid is None:
+            print("\n--show-map requires a --grid topology")
+        else:
+            from repro.viz import render_grid_placement
+
+            print("\nper-node load map (* = producer, . = empty):")
+            print(render_grid_placement(placement, side=args.grid))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(REGISTRY)))
+        print("algorithms:", ", ".join(sorted(_ALGO_ALIASES)))
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Shared chunk-commit accounting used by every placement algorithm.
+
+Whatever picks the caching set for a chunk — dual ascent, a baseline
+heuristic, the exact ILP, or the distributed protocol — the bookkeeping is
+identical: compute the stage costs with the *current* storage state, build
+the dissemination Steiner tree, assign clients to their cheapest server,
+commit the chunk to storage and invalidate the cost caches.  Centralizing
+it here keeps all algorithms comparable down to tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.errors import ProblemError
+from repro.graphs.steiner import steiner_tree
+from repro.core.placement import ChunkPlacement, StageCost, edge_key
+from repro.core.problem import ProblemState
+
+Node = Hashable
+
+
+def nearest_server_assignment(
+    state: ProblemState, caches: List[Node]
+) -> Dict[Node, Node]:
+    """Assign every client its cheapest server among ``caches ∪ {producer}``.
+
+    "A node will find the nearest copy of a chunk" (Sec. V-A); nearest is
+    measured by the Path Contention Cost, with local hits free
+    (``c_ii = 0``).  Ties break toward earlier caches, then the producer.
+    """
+    problem = state.problem
+    rows = {
+        server: state.costs.all_contention_costs(server)
+        for server in [problem.producer] + caches
+    }
+    assignment: Dict[Node, Node] = {}
+    for client in problem.clients:
+        best = problem.producer
+        best_cost = rows[problem.producer][client]
+        for server in caches:
+            cost = rows[server][client]
+            if cost < best_cost:
+                best = server
+                best_cost = cost
+        assignment[client] = best
+    return assignment
+
+
+def commit_chunk(
+    state: ProblemState,
+    chunk: int,
+    caches: Iterable[Node],
+    assignment: Optional[Dict[Node, Node]] = None,
+    tree_edges: Optional[frozenset] = None,
+) -> ChunkPlacement:
+    """Record chunk placement, compute stage costs, and update storage.
+
+    Parameters
+    ----------
+    caches:
+        Nodes that will cache this chunk (order is the tie-break order for
+        client assignment).  Must all have spare storage.
+    assignment:
+        Optional client → server map.  ``None`` (default) derives the
+        nearest-server assignment.  If given, every server must be a cache
+        or the producer, and every client must appear.
+    tree_edges:
+        Optional dissemination tree (set of edge keys).  ``None`` builds
+        the KMB Steiner tree over ``caches ∪ {producer}``; the exact ILP
+        passes its own optimal tree instead.
+
+    Returns the :class:`ChunkPlacement`; ``state`` is mutated (storage +
+    cost-cache invalidation).
+    """
+    problem = state.problem
+    cache_list = list(dict.fromkeys(caches))
+    for node in cache_list:
+        if node not in problem.graph:
+            raise ProblemError(f"cache node {node!r} is not in the graph")
+        if not state.can_cache(node):
+            raise ProblemError(
+                f"node {node!r} cannot cache chunk {chunk} "
+                "(full, battery-dead, or producer)"
+            )
+
+    # Stage fairness cost: f_i *before* this chunk lands (Eq. 1).
+    fairness = sum(state.costs.fairness_cost(i) for i in cache_list)
+
+    if assignment is None:
+        assignment = nearest_server_assignment(state, cache_list)
+    else:
+        allowed = set(cache_list) | {problem.producer}
+        for client, server in assignment.items():
+            if server not in allowed:
+                raise ProblemError(
+                    f"client {client!r} assigned to {server!r}, which does "
+                    f"not cache chunk {chunk}"
+                )
+        missing = set(problem.clients) - set(assignment)
+        if missing:
+            raise ProblemError(
+                f"assignment misses clients {sorted(map(repr, missing))[:5]}"
+            )
+
+    access = sum(
+        state.costs.contention_cost(server, client)
+        for client, server in assignment.items()
+    )
+
+    dissemination = 0.0
+    if tree_edges is None:
+        tree_edges = frozenset()
+        if cache_list:
+            weighted = state.costs.contention_weighted_graph()
+            tree = steiner_tree(weighted, [problem.producer] + cache_list)
+            tree_edges = frozenset(edge_key(u, v) for u, v, _ in tree.edges())
+    if cache_list:
+        dissemination = sum(
+            state.costs.edge_cost(*tuple(key)) for key in tree_edges
+        )
+
+    placement = ChunkPlacement(
+        chunk=chunk,
+        caches=frozenset(cache_list),
+        assignment=dict(assignment),
+        tree_edges=tree_edges,
+        stage_cost=StageCost(
+            fairness=fairness, access=access, dissemination=dissemination
+        ),
+    )
+    for node in cache_list:
+        state.cache(node, chunk)
+    return placement

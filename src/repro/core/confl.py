@@ -1,0 +1,124 @@
+"""Connected Facility Location (ConFL) instances derived from caching state.
+
+Sec. III-D shows the fair-caching ILP is a *sum of ConFL problems*, one per
+chunk (Eq. 8):
+
+* facilities  = nodes with spare storage; opening cost = Fairness Degree
+  Cost ``f_i`` (what the network pays to cache there),
+* clients     = every node except the producer; connection cost = Path
+  Contention Cost ``c_ij``,
+* core        = the producer, to which all open facilities must connect
+  through a Steiner tree with edge costs ``c_e`` scaled by ``M``.
+
+:func:`build_confl_instance` freezes the *current* storage state into such
+an instance — Algorithm 1 rebuilds it before each chunk so fairness and
+contention feed forward (lines 5–16).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.core.problem import ProblemState
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ConFLInstance:
+    """A single-chunk ConFL snapshot (all costs already weighted).
+
+    Attributes
+    ----------
+    producer:
+        The core node; acts as an always-open, zero-cost facility.
+    clients:
+        Nodes that must be served (all nodes except the producer).
+    facilities:
+        Nodes eligible to cache the chunk (spare storage, not producer).
+    open_cost:
+        facility → weighted opening cost ``fairness_weight · f_i``.
+    connect_cost:
+        server → client → weighted connection cost
+        ``contention_weight · c_ij`` (``c_ii = 0``); servers include the
+        producer.
+    steiner_graph:
+        Topology re-weighted with dissemination edge costs
+        ``contention_weight · c_e`` (the ``M`` scale is applied by the
+        objective, not baked into edges, so trees stay comparable).
+    raw_open_cost / raw_connect_cost:
+        The unweighted ``f_i`` / ``c_ij`` for reporting stage costs.
+    """
+
+    producer: Node
+    clients: Tuple[Node, ...]
+    facilities: Tuple[Node, ...]
+    open_cost: Dict[Node, float]
+    connect_cost: Dict[Node, Dict[Node, float]]
+    steiner_graph: Graph
+    dissemination_scale: float
+    raw_open_cost: Dict[Node, float] = field(default_factory=dict)
+    raw_connect_cost: Dict[Node, Dict[Node, float]] = field(default_factory=dict)
+
+    def max_connect_cost(self) -> float:
+        """``max c_ij`` — bounds the dual-ascent round count (Sec. IV-B)."""
+        best = 0.0
+        for row in self.connect_cost.values():
+            for value in row.values():
+                if value > best and math.isfinite(value):
+                    best = value
+        return best
+
+
+def build_confl_instance(state: ProblemState) -> ConFLInstance:
+    """Snapshot the current caching state as a ConFL instance.
+
+    Implements Algorithm 1 lines 5–16: refresh every ``f_i`` from storage
+    (line 6), compute all shortest paths and ``c_ij`` (lines 8–13), and the
+    dissemination edge costs ``c_e`` (lines 14–16).
+    """
+    problem = state.problem
+    graph = problem.graph
+    producer = problem.producer
+
+    clients: List[Node] = list(problem.clients)
+    facilities: List[Node] = [
+        node for node in clients if state.can_cache(node)
+    ]
+
+    raw_open = {node: state.costs.fairness_cost(node) for node in facilities}
+    open_cost = {
+        node: problem.fairness_weight * cost for node, cost in raw_open.items()
+    }
+
+    servers = [producer] + facilities
+    raw_connect: Dict[Node, Dict[Node, float]] = {}
+    connect: Dict[Node, Dict[Node, float]] = {}
+    for server in servers:
+        row = state.costs.all_contention_costs(server)
+        raw_connect[server] = row
+        connect[server] = {
+            client: problem.contention_weight * row[client] for client in clients
+        }
+
+    steiner_graph = Graph()
+    steiner_graph.add_nodes(graph.nodes())
+    for u, v, _ in graph.edges():
+        steiner_graph.add_edge(
+            u, v, problem.contention_weight * state.costs.edge_cost(u, v)
+        )
+
+    return ConFLInstance(
+        producer=producer,
+        clients=tuple(clients),
+        facilities=tuple(facilities),
+        open_cost=open_cost,
+        connect_cost=connect,
+        steiner_graph=steiner_graph,
+        dissemination_scale=problem.dissemination_scale,
+        raw_open_cost=raw_open,
+        raw_connect_cost=raw_connect,
+    )

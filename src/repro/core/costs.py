@@ -1,0 +1,240 @@
+"""The paper's cost model: Fairness Degree Cost and Contention Cost.
+
+Implements Sec. III-B and III-C:
+
+* **Fairness Degree Cost** (Eq. 1)::
+
+      f_i = S(i) / (S_tot(i) - S(i))
+
+  0 when empty, ∞ when full — a "penalty the network must pay" to cache on
+  a loaded node.
+
+* **Node Contention Cost** ``w_k`` — the node's degree (each cached chunk
+  is sent to every neighbor, so transmissions through ``k`` scale with its
+  degree).
+
+* **Path Contention Cost** (Eq. 2)::
+
+      c_ij = Σ_{k ∈ PATH(i,j)} w_k · (1 + S(k))
+
+  summed over *every* node of the shortest path between ``i`` and ``j``
+  (endpoints included), where already-cached chunks ``S(k)`` inflate the
+  contention.  ``c_ii`` is defined as 0: a local cache hit transmits
+  nothing.
+
+:class:`CostModel` binds a graph + storage state and serves these costs
+with caching keyed on a storage version counter, since Algorithm 1
+recomputes all ``c_ij`` after every chunk placement (lines 5–16).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.errors import ProblemError
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_tree, dijkstra_node_costs, path_from_tree
+from repro.core.storage import StorageState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.resources import BatteryState
+
+Node = Hashable
+
+PATH_POLICY_HOPS = "hops"
+PATH_POLICY_CONTENTION = "contention"
+
+
+def fairness_degree_cost(used: int, capacity: int) -> float:
+    """Eq. 1: ``f = S / (S_tot - S)``; ``inf`` when full, 0 when empty.
+
+    Raises :class:`ProblemError` on invalid occupancy.
+    """
+    if capacity < 0 or used < 0 or used > capacity:
+        raise ProblemError(f"invalid occupancy used={used}, capacity={capacity}")
+    remaining = capacity - used
+    if remaining == 0:
+        return math.inf
+    return used / remaining
+
+
+def node_contention_cost(graph: Graph, node: Node) -> int:
+    """``w_k``: the degree of ``node`` (Sec. III-C's estimation)."""
+    return graph.degree(node)
+
+
+def path_contention_cost(
+    graph: Graph, path: List[Node], storage: StorageState
+) -> float:
+    """Eq. 2 evaluated on an explicit node path (endpoints included)."""
+    if len(path) <= 1:
+        return 0.0
+    return float(
+        sum(graph.degree(k) * (1 + storage.used(k)) for k in path)
+    )
+
+
+class CostModel:
+    """Serves fairness and contention costs for a (graph, storage) pair.
+
+    Parameters
+    ----------
+    graph:
+        Network topology.
+    storage:
+        Live storage state; the model reads it lazily, so callers mutate
+        storage and then call :meth:`invalidate` (or use
+        :class:`~repro.core.problem.ProblemState`, which does it for them).
+    path_policy:
+        How PATH(i, j) of Eq. 2 is chosen:
+
+        * ``"hops"`` (default) — minimum-hop path (Sec. V-A: data goes
+          "through the shortest hop path"), ties broken deterministically
+          by BFS order;
+        * ``"contention"`` — path minimizing the summed node contention
+          itself (an ablation; see benchmarks).
+    battery / battery_weight:
+        Optional :class:`~repro.core.resources.BatteryState`; when given,
+        :meth:`fairness_cost` returns the weighted sum of the storage and
+        battery Fairness Degree Costs (footnote 1 of the paper).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        storage: StorageState,
+        path_policy: str = PATH_POLICY_HOPS,
+        battery: Optional["BatteryState"] = None,
+        battery_weight: float = 1.0,
+    ) -> None:
+        if path_policy not in (PATH_POLICY_HOPS, PATH_POLICY_CONTENTION):
+            raise ProblemError(f"unknown path policy {path_policy!r}")
+        if battery_weight < 0:
+            raise ProblemError("battery_weight must be non-negative")
+        self.graph = graph
+        self.storage = storage
+        self.path_policy = path_policy
+        self.battery = battery
+        self.battery_weight = battery_weight
+        self._version = 0
+        self._path_cache: Dict[Node, Dict[Node, Node]] = {}
+        self._cost_cache: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop cached paths/costs after the storage state changed."""
+        self._version += 1
+        self._path_cache.clear()
+        self._cost_cache.clear()
+
+    def fairness_cost(self, node: Node) -> float:
+        """Eq. 1 for ``node``, plus the weighted battery term (footnote 1)
+        when a battery model is attached; ``inf`` for the producer."""
+        if node == self.storage.producer:
+            return math.inf
+        storage_cost = fairness_degree_cost(
+            self.storage.used(node), self.storage.capacity(node)
+        )
+        if self.battery is None:
+            return storage_cost
+        return storage_cost + self.battery_weight * self.battery.fairness_cost(node)
+
+    def node_cost(self, node: Node) -> float:
+        """Per-node term of Eq. 2: ``w_k (1 + S(k))``."""
+        return self.graph.degree(node) * (1 + self.storage.used(node))
+
+    # ------------------------------------------------------------------
+    def path(self, source: Node, target: Node) -> List[Node]:
+        """PATH(source, target) under the configured policy."""
+        if source == target:
+            return [source]
+        if self.path_policy == PATH_POLICY_HOPS:
+            parents = self._hop_tree(source)
+            return path_from_tree(parents, source, target)
+        _, parents = self._contention_tree(source)
+        return path_from_tree(parents, source, target)
+
+    def contention_cost(self, source: Node, target: Node) -> float:
+        """Eq. 2: ``c_ij`` between two nodes (0 when identical)."""
+        if source == target:
+            return 0.0
+        cached = self._cost_cache.get(source)
+        if cached is not None and target in cached:
+            return cached[target]
+        costs = self._all_costs_from(source)
+        return costs[target]
+
+    def all_contention_costs(self, source: Node) -> Dict[Node, float]:
+        """``c_ij`` from ``source`` to every reachable node (``c_ii = 0``)."""
+        return dict(self._all_costs_from(source))
+
+    def cost_matrix(self) -> Dict[Node, Dict[Node, float]]:
+        """Full ``c_ij`` matrix (Algorithm 1, lines 8–13)."""
+        return {node: self.all_contention_costs(node) for node in self.graph.nodes()}
+
+    def edge_cost(self, u: Node, v: Node) -> float:
+        """Dissemination edge cost ``c_e = c_ij`` for adjacent ``u, v``.
+
+        For adjacent nodes the shortest path is the edge itself, so this
+        is ``w_u (1+S(u)) + w_v (1+S(v))`` regardless of path policy.
+        """
+        if not self.graph.has_edge(u, v):
+            raise ProblemError(f"({u!r}, {v!r}) is not an edge")
+        return self.node_cost(u) + self.node_cost(v)
+
+    def contention_weighted_graph(self) -> Graph:
+        """A copy of the topology with every edge weighted by ``c_e``.
+
+        This is the graph the dissemination Steiner tree is built on
+        (objective term 3 of Eq. 3 / the ``M Σ c_e z_en`` term of Eq. 8).
+        """
+        weighted = Graph()
+        weighted.add_nodes(self.graph.nodes())
+        for u, v, _ in self.graph.edges():
+            weighted.add_edge(u, v, self.edge_cost(u, v))
+        return weighted
+
+    # ------------------------------------------------------------------
+    def _hop_tree(self, source: Node) -> Dict[Node, Node]:
+        tree = self._path_cache.get(source)
+        if tree is None:
+            tree = bfs_tree(self.graph, source)
+            self._path_cache[source] = tree
+        return tree
+
+    def _contention_tree(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        dist, parents = dijkstra_node_costs(
+            self.graph, source, self.node_cost, include_source=True
+        )
+        return dist, parents
+
+    def _all_costs_from(self, source: Node) -> Dict[Node, float]:
+        cached = self._cost_cache.get(source)
+        if cached is not None:
+            return cached
+        if self.path_policy == PATH_POLICY_HOPS:
+            parents = self._hop_tree(source)
+            # Walk the BFS tree accumulating node costs root-to-leaf.
+            costs: Dict[Node, float] = {source: 0.0}
+            base = self.node_cost(source)
+            # children lists from parent pointers
+            children: Dict[Node, List[Node]] = {}
+            for node, parent in parents.items():
+                if node != source:
+                    children.setdefault(parent, []).append(node)
+            stack = [(source, base)]
+            while stack:
+                node, acc = stack.pop()
+                for child in children.get(node, ()):
+                    total = acc + self.node_cost(child)
+                    costs[child] = total
+                    stack.append((child, total))
+        else:
+            dist, _ = self._contention_tree(source)
+            costs = {
+                node: (0.0 if node == source else value)
+                for node, value in dist.items()
+            }
+        self._cost_cache[source] = costs
+        return costs

@@ -1,0 +1,251 @@
+"""Primal-dual dual ascent for one ConFL chunk (Algorithm 1, phase 1).
+
+This is the centralized core of the paper's approximation algorithm.  It
+follows the structure of Algorithm 1 lines 17–46, which re-states the
+deterministic 6.55-approximation of Jung et al. [20] in primal-dual form:
+
+* Every unserved (not FROZEN) client ``j`` raises its bid ``α_j`` by a
+  unit step ``U_α`` per round — the price it is willing to pay to reach a
+  cache (line 18).
+* When ``α_j ≥ c_ij`` for an *already selected* cache ``i`` (the ADMIN set
+  ``A``) or the producer, ``j`` connects there and freezes (lines 21–26,
+  conditions 1–2).
+* Otherwise ``j`` goes **tight** with still-closed facilities it can
+  afford; the surplus ``β_ij = α_j − c_ij`` pays toward the opening cost
+  ``f_i`` (line 19) and the client's relay bid ``γ`` turns into a SPAN
+  request (line 20).
+* A facility whose opening cost is fully paid **and** that has gathered at
+  least ``M`` SPAN-tight clients becomes ADMIN: it is added to ``A``, and
+  every client tight with it freezes onto it (lines 27–45, conditions
+  3(a)–3(c)).  The ``M`` threshold is what couples facility opening to the
+  connectivity (Steiner) part of ConFL — a cache must be worth wiring into
+  the dissemination tree.
+
+Frozen clients stop bidding but their accumulated payments stay on the
+books (the FREEZE handler of Algorithm 2 only *stops increasing* α, β, γ),
+which matches the dual feasibility argument of Theorem 1.
+
+Determinism: clients and facilities are processed in their instance order
+(graph insertion order), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.errors import SolverError
+from repro.core.confl import ConFLInstance
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DualAscentConfig:
+    """Tuning knobs of the dual ascent.
+
+    Attributes
+    ----------
+    step:
+        The bid increment ``U_α`` per round.  Smaller steps track the dual
+        trajectory more precisely but take more rounds (the paper bounds
+        rounds by ``max{c_ij} / U_α``, Sec. IV-B).
+    span_threshold:
+        ``M`` — SPAN-tight clients required before a paid facility becomes
+        ADMIN.  ``None`` defers to the instance's dissemination scale
+        (minimum 1).
+    max_rounds:
+        Safety valve; the ascent provably ends within
+        ``max c_ij / step + 1`` rounds, so hitting this raises.
+    """
+
+    step: float = 1.0
+    span_threshold: Optional[int] = 3
+    max_rounds: int = 1_000_000
+
+    def resolved_threshold(self, instance: ConFLInstance) -> int:
+        if self.span_threshold is not None:
+            return max(1, int(self.span_threshold))
+        return max(1, int(round(instance.dissemination_scale)))
+
+
+@dataclass
+class DualAscentResult:
+    """Outcome of phase 1 for one chunk."""
+
+    admins: List[Node]
+    assignment: Dict[Node, Node]
+    alpha: Dict[Node, float]
+    rounds: int
+    # Diagnostics useful for tests / the distributed twin:
+    payments: Dict[Node, float] = field(default_factory=dict)
+    span_counts: Dict[Node, int] = field(default_factory=dict)
+
+
+def dual_ascent(
+    instance: ConFLInstance, config: DualAscentConfig = DualAscentConfig()
+) -> DualAscentResult:
+    """Run the dual ascent; returns the ADMIN set and client assignment.
+
+    Every client ends FROZEN: connected to an ADMIN facility or to the
+    producer.  Facilities with infinite opening cost never open, so
+    capacity is respected by construction.
+    """
+    if config.step <= 0:
+        raise SolverError(f"dual-ascent step must be positive, got {config.step}")
+    producer = instance.producer
+    clients: List[Node] = list(instance.clients)
+    facilities: List[Node] = [
+        node
+        for node in instance.facilities
+        if math.isfinite(instance.open_cost[node])
+    ]
+    connect = instance.connect_cost
+    open_cost = instance.open_cost
+    threshold = config.resolved_threshold(instance)
+
+    alpha: Dict[Node, float] = {j: 0.0 for j in clients}
+    frozen: Set[Node] = set()
+    target: Dict[Node, Node] = {}
+    admins: List[Node] = []
+    admin_set: Set[Node] = set()
+    # T[i]: clients that went tight with facility i while still bidding.
+    tight: Dict[Node, Set[Node]] = {i: set() for i in facilities}
+    # Payments toward f_i, locked in place when a contributor freezes.
+    locked_payment: Dict[Node, float] = {i: 0.0 for i in facilities}
+
+    def facility_payment(i: Node) -> float:
+        """Σ β_ij: live bids of unfrozen tight clients + locked payments."""
+        live = sum(
+            alpha[j] - connect[i][j] for j in tight[i] if j not in frozen
+        )
+        return locked_payment[i] + live
+
+    def freeze(j: Node, server: Node) -> None:
+        """FROZEN: stop j's bids, lock its β contributions, record target."""
+        frozen.add(j)
+        target[j] = server
+        for i in facilities:
+            if j in tight[i]:
+                locked_payment[i] += max(0.0, alpha[j] - connect[i][j])
+
+    def cheapest_open_server(j: Node) -> Optional[Node]:
+        """Best already-open server j can afford (ADMIN or producer)."""
+        best: Optional[Node] = None
+        best_cost = math.inf
+        candidates = [producer] + admins
+        for i in candidates:
+            cost = connect[i][j]
+            if alpha[j] >= cost and cost < best_cost:
+                best = i
+                best_cost = cost
+        return best
+
+    def rounds_to_next_event() -> int:
+        """Idle rounds that can be skipped in one jump.
+
+        Between events (a client affording an open server, a client going
+        tight with a new facility, a facility's payment reaching ``f_i``)
+        every round just adds ``step`` to all active bids — so the
+        trajectory is identical if those rounds are applied at once.
+        This event-driven jump is what keeps Algorithm 1 fast in practice
+        (cf. Fig. 5) without changing any outcome.
+        """
+        step = config.step
+        best = math.inf
+        open_servers = [producer] + admins
+        for j in clients:
+            if j in frozen:
+                continue
+            aj = alpha[j]
+            nearest = math.inf
+            for i in open_servers:
+                gap = connect[i][j] - aj
+                if gap < nearest:
+                    nearest = gap
+            for i in facilities:
+                if i in admin_set or j in tight[i]:
+                    continue
+                gap = connect[i][j] - aj
+                if gap < nearest:
+                    nearest = gap
+            if nearest <= 0:
+                return 1
+            rounds_needed = max(1, math.ceil(nearest / step - 1e-12))
+            if rounds_needed < best:
+                best = rounds_needed
+        for i in facilities:
+            if i in admin_set:
+                continue
+            active_count = sum(1 for j in tight[i] if j not in frozen)
+            if active_count < threshold:
+                continue
+            deficit = open_cost[i] - facility_payment(i)
+            if deficit <= 0:
+                return 1
+            rounds_needed = max(
+                1, math.ceil(deficit / (active_count * step) - 1e-12)
+            )
+            if rounds_needed < best:
+                best = rounds_needed
+        if not math.isfinite(best):
+            return 1
+        return int(best)
+
+    rounds = 0
+    while len(frozen) < len(clients):
+        jump = rounds_to_next_event()
+        rounds += jump
+        if rounds > config.max_rounds:
+            raise SolverError(
+                f"dual ascent did not converge in {config.max_rounds} rounds"
+            )
+        # Line 18: raise bids of every active client (jumped in one step).
+        for j in clients:
+            if j not in frozen:
+                alpha[j] += config.step * jump
+
+        # Conditions 1-2 (lines 21-26): connect to ADMIN / producer.
+        for j in clients:
+            if j in frozen:
+                continue
+            server = cheapest_open_server(j)
+            if server is not None:
+                freeze(j, server)
+
+        # Lines 19-20: refresh tight sets (β, γ bids) of active clients.
+        for j in clients:
+            if j in frozen:
+                continue
+            aj = alpha[j]
+            for i in facilities:
+                if i not in admin_set and aj >= connect[i][j]:
+                    tight[i].add(j)
+
+        # Condition 3 (lines 27-45): open fully paid, well-supported
+        # facilities.  Deterministic facility order; openings within a
+        # round see the freezes caused by earlier openings.
+        for i in facilities:
+            if i in admin_set:
+                continue
+            active_tight = [j for j in tight[i] if j not in frozen]
+            if len(active_tight) < threshold:
+                continue
+            if facility_payment(i) + 1e-12 < open_cost[i]:
+                continue
+            admin_set.add(i)
+            admins.append(i)
+            for j in active_tight:
+                freeze(j, i)
+
+    payments = {i: facility_payment(i) for i in facilities}
+    span_counts = {i: len(tight[i]) for i in facilities}
+    return DualAscentResult(
+        admins=admins,
+        assignment=dict(target),
+        alpha=alpha,
+        rounds=rounds,
+        payments=payments,
+        span_counts=span_counts,
+    )

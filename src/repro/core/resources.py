@@ -1,0 +1,150 @@
+"""Battery-aware fairness (the paper's footnote 1, Sec. III-B).
+
+    "For simplicity, we only consider storage fairness.  A Fairness Degree
+    Cost on the battery can be defined similarly and considered together
+    in weighted summation form of the two costs."
+
+This module implements exactly that extension: a per-node battery budget
+drained by caching work, a battery Fairness Degree Cost with the same
+``used / remaining`` shape as Eq. 1, and a weighted combination consumed
+by :class:`~repro.core.costs.CostModel` when a problem enables batteries.
+
+Energy accounting is deliberately simple and documented: caching one
+chunk costs ``energy_per_cache`` units (receiving the chunk and serving
+it to neighbors dominates; cf. the transmission counting of Sec. III-C).
+Finer-grained models can subclass :class:`BatteryState`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Union
+
+from repro.errors import ProblemError
+
+Node = Hashable
+
+DEFAULT_ENERGY_PER_CACHE = 1.0
+
+
+def battery_fairness_cost(consumed: float, capacity: float) -> float:
+    """Battery analogue of Eq. 1: ``consumed / (capacity - consumed)``.
+
+    0 on a full battery, ``inf`` on an empty one — draining a nearly-dead
+    node must look prohibitively expensive to the placement.
+    """
+    if capacity < 0 or consumed < 0 or consumed > capacity + 1e-12:
+        raise ProblemError(
+            f"invalid battery state consumed={consumed}, capacity={capacity}"
+        )
+    remaining = capacity - consumed
+    if remaining <= 0:
+        return math.inf
+    return consumed / remaining
+
+
+class BatteryState:
+    """Mutable per-node battery budgets.
+
+    Parameters
+    ----------
+    nodes:
+        All network nodes.
+    capacity:
+        Uniform float budget or a node → budget mapping (energy units).
+    producer:
+        The producer's battery is never drained by caching (it does not
+        cache; Sec. V-A).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        capacity: Union[float, Mapping[Node, float]],
+        producer: Optional[Node] = None,
+    ) -> None:
+        node_list = list(nodes)
+        if isinstance(capacity, Mapping):
+            budgets = {node: float(capacity[node]) for node in node_list}
+        else:
+            budgets = {node: float(capacity) for node in node_list}
+        for node, budget in budgets.items():
+            if budget < 0:
+                raise ProblemError(
+                    f"battery capacity of node {node!r} is negative"
+                )
+        self._capacity: Dict[Node, float] = budgets
+        self._consumed: Dict[Node, float] = {node: 0.0 for node in node_list}
+        self.producer = producer
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._capacity
+
+    def capacity(self, node: Node) -> float:
+        """Total battery budget of ``node``."""
+        return self._capacity[node]
+
+    def consumed(self, node: Node) -> float:
+        """Energy spent so far at ``node``."""
+        return self._consumed[node]
+
+    def remaining(self, node: Node) -> float:
+        """Energy still available at ``node``."""
+        return self._capacity[node] - self._consumed[node]
+
+    def can_spend(self, node: Node, amount: float) -> bool:
+        """True if ``node`` has at least ``amount`` energy left."""
+        return self.remaining(node) >= amount - 1e-12
+
+    def drain(self, node: Node, amount: float) -> None:
+        """Consume ``amount`` energy at ``node``.
+
+        Raises :class:`ProblemError` when over-draining — callers must
+        check :meth:`can_spend` first, exactly like storage capacity.
+        """
+        if amount < 0:
+            raise ProblemError(f"cannot drain a negative amount ({amount})")
+        if not self.can_spend(node, amount):
+            raise ProblemError(
+                f"node {node!r} has {self.remaining(node):.3f} energy left, "
+                f"cannot spend {amount}"
+            )
+        self._consumed[node] += amount
+
+    def recharge(self, node: Node, amount: float) -> None:
+        """Return ``amount`` energy to ``node`` (rollbacks, tests)."""
+        if amount < 0:
+            raise ProblemError(f"cannot recharge a negative amount ({amount})")
+        self._consumed[node] = max(0.0, self._consumed[node] - amount)
+
+    def fairness_cost(self, node: Node) -> float:
+        """Battery Fairness Degree Cost of ``node`` (footnote 1)."""
+        if node == self.producer:
+            return math.inf
+        return battery_fairness_cost(
+            self._consumed[node], self._capacity[node]
+        )
+
+    def copy(self) -> "BatteryState":
+        clone = BatteryState(self._capacity.keys(), self._capacity, self.producer)
+        clone._consumed = dict(self._consumed)
+        return clone
+
+    def levels(self) -> Dict[Node, float]:
+        """Node → remaining-energy fraction (1.0 = full)."""
+        return {
+            node: (self.remaining(node) / cap if cap > 0 else 0.0)
+            for node, cap in self._capacity.items()
+        }
+
+
+def combined_fairness_cost(
+    storage_cost: float,
+    battery_cost: Optional[float],
+    storage_weight: float = 1.0,
+    battery_weight: float = 1.0,
+) -> float:
+    """Footnote 1's "weighted summation form of the two costs"."""
+    if battery_cost is None:
+        return storage_weight * storage_cost
+    return storage_weight * storage_cost + battery_weight * battery_cost

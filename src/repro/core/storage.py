@@ -1,0 +1,137 @@
+"""Per-node cache storage state.
+
+Tracks which chunks each node caches and how much capacity remains — the
+``S(i)`` / ``S_tot(i)`` quantities of Sec. III-B.  All chunks are equal
+size (Sec. III-A), so storage is measured in chunks.
+
+The producer is special: the paper assumes "the producer node will not
+store data on its caching storage, and therefore, the calculation of costs
+will not include the producer node" (Sec. V-A).  :class:`StorageState`
+enforces that by refusing to cache at the producer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Union
+
+from repro.errors import CapacityError, ProblemError
+
+Node = Hashable
+ChunkId = int
+
+
+class StorageState:
+    """Mutable cache-occupancy state for all nodes.
+
+    Parameters
+    ----------
+    nodes:
+        All network nodes.
+    capacity:
+        Either a single int (uniform capacity, the paper uses 5) or a
+        mapping node → capacity.
+    producer:
+        Optional producer node; it is never allowed to cache.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        capacity: Union[int, Mapping[Node, int]],
+        producer: Optional[Node] = None,
+    ) -> None:
+        node_list = list(nodes)
+        if isinstance(capacity, Mapping):
+            caps = {node: int(capacity[node]) for node in node_list}
+        else:
+            caps = {node: int(capacity) for node in node_list}
+        for node, cap in caps.items():
+            if cap < 0:
+                raise ProblemError(f"capacity of node {node!r} is negative ({cap})")
+        if producer is not None and producer not in caps:
+            raise ProblemError(f"producer {producer!r} is not among the nodes")
+        self._capacity: Dict[Node, int] = caps
+        self._chunks: Dict[Node, Set[ChunkId]] = {node: set() for node in node_list}
+        self.producer = producer
+
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._capacity
+
+    def nodes(self) -> Iterable[Node]:
+        """All nodes tracked by this state (including the producer)."""
+        return iter(self._capacity)
+
+    def capacity(self, node: Node) -> int:
+        """Total caching storage ``S_tot(i)`` of ``node``, in chunks."""
+        return self._capacity[node]
+
+    def used(self, node: Node) -> int:
+        """Chunks currently cached at ``node`` — ``S(i)``."""
+        return len(self._chunks[node])
+
+    def available(self, node: Node) -> int:
+        """Remaining storage ``S_tot(i) - S(i)``."""
+        return self._capacity[node] - len(self._chunks[node])
+
+    def chunks_at(self, node: Node) -> Set[ChunkId]:
+        """The set of chunk ids cached at ``node`` (a copy)."""
+        return set(self._chunks[node])
+
+    def holders(self, chunk: ChunkId) -> Set[Node]:
+        """All nodes caching ``chunk``."""
+        return {node for node, chunks in self._chunks.items() if chunk in chunks}
+
+    def can_cache(self, node: Node) -> bool:
+        """True if ``node`` may accept one more chunk.
+
+        The producer never caches (Sec. V-A).
+        """
+        if node == self.producer:
+            return False
+        return self.available(node) > 0
+
+    def add(self, node: Node, chunk: ChunkId) -> None:
+        """Cache ``chunk`` at ``node``.
+
+        Raises
+        ------
+        CapacityError
+            If the node is full, is the producer, or already holds the chunk.
+        """
+        if node == self.producer:
+            raise CapacityError(f"producer {node!r} does not cache data")
+        if chunk in self._chunks[node]:
+            raise CapacityError(f"node {node!r} already caches chunk {chunk}")
+        if self.available(node) <= 0:
+            raise CapacityError(
+                f"node {node!r} is full ({self.used(node)}/{self.capacity(node)})"
+            )
+        self._chunks[node].add(chunk)
+
+    def remove(self, node: Node, chunk: ChunkId) -> None:
+        """Evict ``chunk`` from ``node`` (supports replacement extensions)."""
+        if chunk not in self._chunks[node]:
+            raise CapacityError(f"node {node!r} does not cache chunk {chunk}")
+        self._chunks[node].remove(chunk)
+
+    def loads(self) -> Dict[Node, int]:
+        """Map node → number of cached chunks (the ``t_i`` of Eq. Gini)."""
+        return {node: len(chunks) for node, chunks in self._chunks.items()}
+
+    def total_cached(self) -> int:
+        """Total cached chunk copies across the network."""
+        return sum(len(chunks) for chunks in self._chunks.values())
+
+    def copy(self) -> "StorageState":
+        """Deep copy (used by what-if cost evaluations)."""
+        clone = StorageState(self._capacity.keys(), self._capacity, self.producer)
+        for node, chunks in self._chunks.items():
+            clone._chunks[node] = set(chunks)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageState(nodes={len(self._capacity)}, "
+            f"cached={self.total_cached()})"
+        )

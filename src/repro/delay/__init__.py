@@ -1,0 +1,20 @@
+"""802.11 DCF contention-delay model (Sec. III-C's latency translation)."""
+
+from repro.delay.dcf import (
+    DcfParameters,
+    contention_cost_to_delay,
+    hop_delay,
+    linearized_hop_delay,
+    path_delay,
+)
+from repro.delay.latency import LatencyReport, latency_report
+
+__all__ = [
+    "DcfParameters",
+    "LatencyReport",
+    "latency_report",
+    "contention_cost_to_delay",
+    "hop_delay",
+    "linearized_hop_delay",
+    "path_delay",
+]

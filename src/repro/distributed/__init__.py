@@ -1,0 +1,43 @@
+"""Distributed algorithm: discrete-event simulator + Algorithm 2 protocol."""
+
+from repro.distributed.messages import (
+    ALL_TYPES,
+    BADMIN,
+    CC,
+    FREEZE,
+    NADMIN,
+    NPI,
+    SPAN,
+    TIGHT,
+    MessageStats,
+)
+from repro.distributed.node import ACTIVE, ADMIN, FROZEN, ProtocolNode
+from repro.distributed.protocol import (
+    ChunkSession,
+    DistributedConfig,
+    DistributedOutcome,
+    solve_distributed,
+)
+from repro.distributed.simulator import EventHandle, Simulator
+
+__all__ = [
+    "ACTIVE",
+    "ADMIN",
+    "ALL_TYPES",
+    "BADMIN",
+    "CC",
+    "ChunkSession",
+    "DistributedConfig",
+    "DistributedOutcome",
+    "EventHandle",
+    "FREEZE",
+    "FROZEN",
+    "MessageStats",
+    "NADMIN",
+    "NPI",
+    "ProtocolNode",
+    "SPAN",
+    "Simulator",
+    "TIGHT",
+    "solve_distributed",
+]

@@ -1,0 +1,393 @@
+"""Orchestration of the distributed algorithm (Sec. IV-C).
+
+:func:`solve_distributed` runs Algorithm 2 chunk by chunk on the
+discrete-event simulator:
+
+1. The producer floods NPI — every node learns a new chunk needs caching
+   and its own contention cost to the producer.
+2. Every node floods a CC (contention collection) request ``k`` hops out;
+   receivers learn candidate caches and the ``Con_ij`` costs (the flood
+   accumulates node contention along the BFS path, exactly Eq. 2).
+3. A global bid clock ticks; nodes bid, TIGHT, SPAN, and freeze per
+   :class:`~repro.distributed.node.ProtocolNode` until every node is
+   served.
+4. Admins that emerged proactively fetch the chunk; the session commits
+   the placement with the shared accounting of
+   :func:`repro.core.commit.commit_chunk`, so Dist / Appx / baselines /
+   exact results are directly comparable.
+
+All control messages except NPI and BADMIN are limited to ``k`` hops
+(k = 2 in the paper's evaluation; Fig. 3 studies the sweep).  Message and
+transmission counts per Table II type are collected in
+:class:`~repro.distributed.messages.MessageStats`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.errors import SimulationError
+from repro.graphs.traversal import hop_distances
+from repro.core.commit import commit_chunk
+from repro.core.placement import CachePlacement, ChunkPlacement
+from repro.core.problem import CachingProblem, ProblemState
+from repro.distributed.messages import (
+    BADMIN,
+    CC,
+    FREEZE,
+    NADMIN,
+    NPI,
+    SPAN,
+    TIGHT,
+    BAdminMessage,
+    CcMessage,
+    FreezeMessage,
+    MessageStats,
+    NAdminMessage,
+    NpiMessage,
+    SpanMessage,
+    TightMessage,
+)
+from repro.distributed.node import ProtocolNode
+from repro.distributed.simulator import Simulator
+
+Node = Hashable
+
+ALGORITHM_NAME = "distributed"
+
+
+@dataclass(frozen=True)
+class DistributedConfig:
+    """Protocol parameters.
+
+    Attributes
+    ----------
+    hop_limit:
+        ``k`` — range of CC / TIGHT / SPAN / FREEZE / NADMIN messages
+        (paper default 2).
+    step:
+        Bid increment per tick (the distributed ``U_α``).
+    span_threshold:
+        ``M`` — SPAN supporters required to self-promote to ADMIN; matches
+        the centralized dual ascent's threshold so the two algorithms are
+        directly comparable.
+    tick_interval / hop_latency:
+        Simulated durations of a bidding round and of one radio hop.  The
+        defaults keep all message deliveries within the round that sent
+        them, which mirrors the synchronous-round analysis of Sec. IV-D.
+    max_ticks:
+        Safety bound; the ascent provably freezes every node once bids
+        exceed its producer cost.
+    gamma_from_alpha:
+        Where the relay bid ``γ`` starts when a client goes tight.  True
+        (default): at the current bid ``α_j``, so SPAN follows TIGHT on the
+        next tick — this keeps the distributed opening clock aligned with
+        the centralized dual ascent.  False: γ ramps from zero (the
+        literal pseudocode), which delays facility openings by roughly
+        ``Con_ij / U`` extra rounds and measurably under-opens; exposed as
+        an ablation (see ``benchmarks/test_ablation_gamma.py``).
+    serialize_promotions:
+        True (default): self-promotions to ADMIN pass through a session
+        arbiter that re-validates the ADMIN condition against *live*
+        supporters and admits one candidate per ``promotion_latency``
+        window — emulating the backoff-based collision avoidance a real
+        radio deployment needs.  False: candidates promote the instant
+        their condition holds, so a whole wave can open simultaneously
+        before each other's FREEZEs land (the over-opening race; kept as
+        an ablation).
+    promotion_latency:
+        Arbitration window; must exceed the worst-case FREEZE delivery
+        time (network diameter × ``hop_latency``) and stay well under
+        ``tick_interval``.
+    loss_rate / loss_seed:
+        Failure injection: each *unicast* control message (TIGHT, SPAN,
+        FREEZE, NADMIN) is independently dropped with this probability
+        (seeded, deterministic).  Floods (NPI, CC, BADMIN) are treated as
+        reliable — broadcast redundancy makes their per-node loss a
+        different regime.  The protocol must still terminate: clients
+        always retain the producer fallback.  Dropped messages are not
+        counted in the message statistics (they never arrived), so loss
+        shows up as degraded placement quality, not accounting noise.
+    """
+
+    hop_limit: int = 2
+    step: float = 1.0
+    span_threshold: int = 3
+    tick_interval: float = 1.0
+    hop_latency: float = 0.001
+    max_ticks: int = 1_000_000
+    gamma_from_alpha: bool = True
+    serialize_promotions: bool = True
+    promotion_latency: float = 0.05
+    span_policy: str = "all"
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+
+
+@dataclass
+class DistributedOutcome:
+    """Placement plus protocol-level observables."""
+
+    placement: CachePlacement
+    stats: MessageStats
+    ticks_per_chunk: List[int] = field(default_factory=list)
+    sim_events: int = 0
+
+
+class ChunkSession:
+    """One chunk's protocol run; the service interface nodes talk to."""
+
+    def __init__(
+        self,
+        state: ProblemState,
+        chunk: int,
+        config: DistributedConfig,
+        stats: MessageStats,
+    ) -> None:
+        self.state = state
+        self.chunk = chunk
+        self.config = config
+        self.stats = stats
+        self.sim = Simulator()
+        self.producer = state.problem.producer
+        self.graph = state.problem.graph
+        self.span_threshold = config.span_threshold
+        self.gamma_starts_at_alpha = config.gamma_from_alpha
+        self.span_policy = config.span_policy
+        if self.span_policy not in ("best", "all"):
+            raise SimulationError(f"unknown span_policy {self.span_policy!r}")
+        self._order = {
+            node: index for index, node in enumerate(self.graph.nodes())
+        }
+        self.nodes: Dict[Node, ProtocolNode] = {
+            node: ProtocolNode(node, self)
+            for node in self.graph.nodes()
+            if node != self.producer
+        }
+        self._done: Set[Node] = set()
+        self.admins: List[Node] = []
+        self.ticks = 0
+        self._promotion_queue: List[Node] = []
+        self._promotion_pending: Set[Node] = set()
+        self._arbiter_scheduled = False
+        if not 0.0 <= config.loss_rate < 1.0:
+            raise SimulationError("loss_rate must be in [0, 1)")
+        self._rng = (
+            random.Random(config.loss_seed * 1_000_003 + chunk)
+            if config.loss_rate > 0
+            else None
+        )
+        # Hop distances from every node (for scoped delivery + latency).
+        self._hops: Dict[Node, Dict[Node, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Node-facing services
+    # ------------------------------------------------------------------
+    def can_cache(self, node: Node) -> bool:
+        return self.state.can_cache(node)
+
+    def fairness_cost(self, node: Node) -> float:
+        return self.state.costs.fairness_cost(node)
+
+    def is_done(self, node: Node) -> bool:
+        return node in self._done
+
+    def order_index(self, node: Node) -> int:
+        """Deterministic global order of nodes (tie-breaking)."""
+        return self._order[node]
+
+    def notify_done(self, node: Node) -> None:
+        self._done.add(node)
+
+    def register_admin(self, node: Node) -> None:
+        self.admins.append(node)
+
+    def request_promotion(self, node: Node) -> None:
+        """A candidate met the ADMIN condition and wants to self-promote."""
+        if not self.config.serialize_promotions:
+            self.nodes[node].promote()
+            return
+        if node in self._promotion_pending:
+            return
+        self._promotion_pending.add(node)
+        self._promotion_queue.append(node)
+        if not self._arbiter_scheduled:
+            self._arbiter_scheduled = True
+            self.sim.schedule(self.config.promotion_latency, self._arbitrate)
+
+    def _arbitrate(self) -> None:
+        """Admit one still-valid candidate; requeue the arbiter if needed."""
+        self._arbiter_scheduled = False
+        while self._promotion_queue:
+            node = self._promotion_queue.pop(0)
+            self._promotion_pending.discard(node)
+            proto = self.nodes[node]
+            if proto.promotion_valid():
+                proto.promote()
+                break
+        if self._promotion_queue:
+            self._arbiter_scheduled = True
+            self.sim.schedule(self.config.promotion_latency, self._arbitrate)
+
+    # --- unicasts (k-hop scoped) --------------------------------------
+    def _deliver(self, msg_type: str, src: Node, dst: Node, handler) -> None:
+        hops = self._hop(src, dst)
+        if msg_type != NPI and msg_type != BADMIN and hops > self.config.hop_limit:
+            return  # out of control-message range
+        if self._rng is not None and self._rng.random() < self.config.loss_rate:
+            return  # radio loss (failure injection)
+        self.stats.record(msg_type, hops)
+        self.sim.schedule(hops * self.config.hop_latency, handler)
+
+    def send_tight(self, src: Node, dst: Node, contention: float, bid: float) -> None:
+        msg = TightMessage(
+            sender=src, chunk=self.chunk, target=dst,
+            contention=contention, bid=bid,
+        )
+        self._deliver(TIGHT, src, dst, lambda: self.nodes[dst].on_tight(msg))
+
+    def send_span(
+        self, src: Node, dst: Node, contention: float, resource_bid: float
+    ) -> None:
+        msg = SpanMessage(
+            sender=src, chunk=self.chunk, target=dst,
+            contention=contention, resource_bid=resource_bid,
+        )
+        self._deliver(SPAN, src, dst, lambda: self.nodes[dst].on_span(msg))
+
+    def send_freeze(self, src: Node, dst: Node, server: Node) -> None:
+        msg = FreezeMessage(sender=src, chunk=self.chunk, server=server)
+        self._deliver(FREEZE, src, dst, lambda: self.nodes[dst].on_freeze(msg))
+
+    def send_nadmin(self, src: Node, dst: Node) -> None:
+        msg = NAdminMessage(sender=src, chunk=self.chunk)
+        self._deliver(NADMIN, src, dst, lambda: self.nodes[dst].on_nadmin(msg))
+
+    # --- floods ---------------------------------------------------------
+    def broadcast_badmin(self, admin: Node) -> None:
+        """Network-wide admin announcement, accumulating path contention."""
+        costs = self.state.costs.all_contention_costs(admin)
+        hops = self._hops_from(admin)
+        for node in self.nodes:
+            if node == admin:
+                continue
+            msg = BAdminMessage(
+                sender=admin, chunk=self.chunk,
+                cost_from_admin=costs[node], hops=hops[node],
+            )
+            self.stats.record(BADMIN, hops[node])
+            self.sim.schedule(
+                hops[node] * self.config.hop_latency,
+                (lambda m=msg, n=node: self.nodes[n].on_badmin(m)),
+            )
+
+    def _flood_npi(self) -> None:
+        costs = self.state.costs.all_contention_costs(self.producer)
+        hops = self._hops_from(self.producer)
+        for node in self.nodes:
+            msg = NpiMessage(
+                sender=self.producer, chunk=self.chunk,
+                cost_from_producer=costs[node], hops=hops[node],
+            )
+            self.stats.record(NPI, hops[node])
+            self.sim.schedule(
+                hops[node] * self.config.hop_latency,
+                (lambda m=msg, n=node: self.nodes[n].on_npi(m)),
+            )
+
+    def _flood_cc(self, origin: Node) -> None:
+        """CC flood: k-hop neighbors learn (origin, Con_origin→them)."""
+        costs = self.state.costs.all_contention_costs(origin)
+        hops = self._hops_from(origin)
+        for node, h in hops.items():
+            if node == origin or node == self.producer:
+                continue
+            if h > self.config.hop_limit:
+                continue
+            msg = CcMessage(
+                sender=origin, chunk=self.chunk, origin=origin,
+                accumulated_cost=costs[node], hops=h,
+            )
+            self.stats.record(CC, h)
+            self.sim.schedule(
+                h * self.config.hop_latency,
+                (lambda m=msg, n=node: self.nodes[n].on_cc(m)),
+            )
+
+    # ------------------------------------------------------------------
+    # Session driver
+    # ------------------------------------------------------------------
+    def run(self) -> ChunkPlacement:
+        """Run the protocol for this chunk and commit the placement."""
+        self._flood_npi()
+        # After NPI propagates, cacheable candidates announce themselves.
+        for node in self.nodes:
+            if self.can_cache(node):
+                self.sim.schedule(
+                    0.5 * self.config.tick_interval,
+                    (lambda origin=node: self._flood_cc(origin)),
+                )
+        self.sim.schedule(self.config.tick_interval, self._tick)
+        self.sim.run()
+        if len(self._done) < len(self.nodes):
+            raise SimulationError(
+                f"chunk {self.chunk}: protocol ended with "
+                f"{len(self.nodes) - len(self._done)} unserved nodes"
+            )
+        assignment = {
+            node_id: (proto.target if proto.target is not None else self.producer)
+            for node_id, proto in self.nodes.items()
+        }
+        return commit_chunk(
+            self.state, self.chunk, self.admins, assignment=assignment
+        )
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        if self.ticks > self.config.max_ticks:
+            raise SimulationError("distributed protocol exceeded max_ticks")
+        for node in self.nodes.values():
+            node.client_tick(self.config.step)
+        for node in self.nodes.values():
+            node.candidate_tick(self.config.step)
+        if len(self._done) < len(self.nodes):
+            self.sim.schedule(self.config.tick_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def _hops_from(self, source: Node) -> Dict[Node, int]:
+        cached = self._hops.get(source)
+        if cached is None:
+            cached = hop_distances(self.graph, source)
+            self._hops[source] = cached
+        return cached
+
+    def _hop(self, src: Node, dst: Node) -> int:
+        return self._hops_from(src)[dst]
+
+
+def solve_distributed(
+    problem: CachingProblem, config: Optional[DistributedConfig] = None
+) -> DistributedOutcome:
+    """Run the distributed algorithm for every chunk of ``problem``."""
+    config = config or DistributedConfig()
+    if config.hop_limit < 1:
+        raise SimulationError("hop_limit must be at least 1")
+    state = problem.new_state()
+    stats = MessageStats()
+    placements: List[ChunkPlacement] = []
+    ticks: List[int] = []
+    events = 0
+    for chunk in problem.chunks:
+        session = ChunkSession(state, chunk, config, stats)
+        placements.append(session.run())
+        ticks.append(session.ticks)
+        events += session.sim.events_processed
+    placement = CachePlacement(
+        problem=problem, chunks=placements, algorithm=ALGORITHM_NAME
+    )
+    return DistributedOutcome(
+        placement=placement, stats=stats, ticks_per_chunk=ticks, sim_events=events
+    )

@@ -1,0 +1,133 @@
+"""A small deterministic discrete-event simulator.
+
+The distributed algorithm (Sec. IV-C) is "basically event driven": nodes
+react to received control messages and to their own bidding clock.  This
+module provides the engine: a priority queue of timestamped events with a
+monotone sequence number as tie-breaker, so runs are exactly reproducible.
+
+The simulator knows nothing about networks or caching — it schedules
+callables.  :mod:`repro.distributed.protocol` builds the message-passing
+layer on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Handler = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    handler: Handler = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, handler: Handler) -> EventHandle:
+        """Schedule ``handler`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(self._now + delay, next(self._seq), handler)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, handler: Handler) -> EventHandle:
+        """Schedule ``handler`` at an absolute simulation time."""
+        return self.schedule(time - self._now, handler)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.handler()
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 10_000_000
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget is exhausted (which raises, as a runaway-protocol guard)."""
+        executed = 0
+        while self._queue:
+            next_event = self._peek()
+            if next_event is None:
+                return
+            if until is not None and next_event.time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely a "
+                    "non-terminating protocol"
+                )
+
+    def _peek(self) -> Optional[_Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

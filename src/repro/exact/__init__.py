@@ -1,0 +1,17 @@
+"""Exact solvers: the per-chunk ConFL ILP (Eqs. 3–7) and brute forces."""
+
+from repro.exact.brute_force import EnumerationResult, enumerate_optimal
+from repro.exact.ilp_formulation import ChunkModel, build_chunk_model
+from repro.exact.local_search import optimize_chunk_local
+from repro.exact.solver import solve_chunk_with_cuts, solve_exact, solve_exact_chunk
+
+__all__ = [
+    "ChunkModel",
+    "EnumerationResult",
+    "build_chunk_model",
+    "enumerate_optimal",
+    "optimize_chunk_local",
+    "solve_chunk_with_cuts",
+    "solve_exact",
+    "solve_exact_chunk",
+]

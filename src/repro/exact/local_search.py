@@ -1,0 +1,271 @@
+"""Multi-start local search to (near-)optimality for one chunk's ConFL.
+
+For a *fixed* cache set ``A`` the rest of the chunk problem is easy: the
+optimal assignment is nearest-server, and the optimal dissemination tree
+is the minimum Steiner tree over ``A ∪ {producer}``.  So the search space
+is just subsets of facilities, and classic add / drop / swap local search
+over it converges to strong optima quickly.
+
+Pricing: during the descent, trees are priced with a *cached* KMB
+2-approximation (metric closure looked up from a one-time all-pairs
+Dijkstra, so each evaluation is ~|A|² table lookups plus a tiny MST).
+Final incumbents with few enough terminals are re-priced with the exact
+Dreyfus–Wagner DP, which also yields the tree edges that get committed.
+
+Role in the reproduction: the paper's ``Brtf`` uses PuLP; the MILP stack
+in :mod:`repro.exact.ilp_formulation` is provably exact but this
+environment's MILP backend is far too slow beyond toy sizes (see
+EXPERIMENTS.md), so ``solve_exact(method="local")`` is the practical
+optimum reference for the 4×4 / 6×6 figures.  The test suite verifies the
+local search matches the subset-enumeration optimum on every instance
+small enough to enumerate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.mst import kruskal_mst
+from repro.graphs.shortest_paths import path_from_tree
+from repro.graphs.steiner import all_pairs_with_parents, dreyfus_wagner
+from repro.core.confl import ConFLInstance
+
+Node = Hashable
+
+#: Above this many tree terminals, the final re-pricing skips exact DW.
+MAX_EXACT_TERMINALS = 10
+
+
+class _ChunkObjective:
+    """Pricing of cache sets under one ConFL instance (heavily cached)."""
+
+    def __init__(self, instance: ConFLInstance, exact_terminals: int) -> None:
+        self.instance = instance
+        self.exact_terminals = exact_terminals
+        self.facilities = [
+            f
+            for f in instance.facilities
+            if math.isfinite(instance.open_cost[f])
+        ]
+        # One-time all-pairs shortest paths on the dissemination graph.
+        self._dist, self._parents = all_pairs_with_parents(
+            instance.steiner_graph
+        )
+        self._tree_cost_cache: Dict[FrozenSet[Node], float] = {}
+
+    # ------------------------------------------------------------------
+    # Tree pricing
+    # ------------------------------------------------------------------
+    def tree_cost(self, caches: FrozenSet[Node]) -> float:
+        """KMB-priced dissemination cost of ``caches`` (cached)."""
+        if not caches:
+            return 0.0
+        cost = self._tree_cost_cache.get(caches)
+        if cost is None:
+            cost = self._kmb_cost([self.instance.producer] + sorted(caches, key=str))
+            self._tree_cost_cache[caches] = cost
+        return cost
+
+    def _kmb_cost(self, terminals: List[Node]) -> float:
+        """Metric-closure MST expanded over real paths, deduplicating
+        shared edges (the standard KMB construction, from cached APSP)."""
+        if len(terminals) == 1:
+            return 0.0
+        closure = Graph()
+        closure.add_nodes(terminals)
+        for a_index, a in enumerate(terminals):
+            row = self._dist[a]
+            for b in terminals[a_index + 1 :]:
+                closure.add_edge(a, b, row[b])
+        mst = kruskal_mst(closure)
+        edges = set()
+        for a, b, _ in mst.edges():
+            path = path_from_tree(self._parents[a], a, b)
+            for u, v in zip(path, path[1:]):
+                edges.add(frozenset((u, v)))
+        total = 0.0
+        for key in edges:
+            u, v = tuple(key)
+            total += self.instance.steiner_graph.weight(u, v)
+        return total
+
+    def exact_tree(
+        self, caches: FrozenSet[Node]
+    ) -> Tuple[float, List[Tuple[Node, Node]]]:
+        """Exact (or KMB if too large) tree cost and edges for a final set."""
+        if not caches:
+            return 0.0, []
+        terminals = [self.instance.producer] + sorted(caches, key=str)
+        if len(terminals) <= self.exact_terminals:
+            cost, tree = dreyfus_wagner(
+                self.instance.steiner_graph, terminals,
+                apsp=(self._dist, self._parents),
+            )
+        else:
+            cost, tree = self._kmb_tree(terminals)
+        return cost, [(u, v) for u, v, _ in tree.edges()]
+
+    def _kmb_tree(self, terminals: List[Node]) -> Tuple[float, Graph]:
+        closure = Graph()
+        closure.add_nodes(terminals)
+        for a_index, a in enumerate(terminals):
+            row = self._dist[a]
+            for b in terminals[a_index + 1 :]:
+                closure.add_edge(a, b, row[b])
+        mst = kruskal_mst(closure)
+        expanded = Graph()
+        for a, b, _ in mst.edges():
+            path = path_from_tree(self._parents[a], a, b)
+            for u, v in zip(path, path[1:]):
+                if not expanded.has_edge(u, v):
+                    expanded.add_edge(
+                        u, v, self.instance.steiner_graph.weight(u, v)
+                    )
+        tree = kruskal_mst(expanded)
+        terminal_set = set(terminals)
+        pruned = True
+        while pruned:
+            pruned = False
+            for node in list(tree.nodes()):
+                if node not in terminal_set and tree.degree(node) <= 1:
+                    tree.remove_node(node)
+                    pruned = True
+        return sum(w for _, _, w in tree.edges()), tree
+
+    # ------------------------------------------------------------------
+    # Full objective
+    # ------------------------------------------------------------------
+    def evaluate(self, caches: FrozenSet[Node]) -> float:
+        """Chunk objective (Eq. 8's inner problem), KMB-priced tree."""
+        inst = self.instance
+        open_cost = sum(inst.open_cost[i] for i in caches)
+        access = self.access_cost(caches)
+        return (
+            open_cost
+            + access
+            + inst.dissemination_scale * self.tree_cost(caches)
+        )
+
+    def access_cost(self, caches: FrozenSet[Node]) -> float:
+        inst = self.instance
+        servers = [inst.producer] + list(caches)
+        total = 0.0
+        for j in inst.clients:
+            total += min(inst.connect_cost[s][j] for s in servers)
+        return total
+
+    def exact_objective(self, caches: FrozenSet[Node]) -> float:
+        """Objective with the exact (DW) tree where feasible."""
+        inst = self.instance
+        tree_cost, _ = self.exact_tree(caches)
+        return (
+            sum(inst.open_cost[i] for i in caches)
+            + self.access_cost(caches)
+            + inst.dissemination_scale * tree_cost
+        )
+
+    def assignment(self, caches: FrozenSet[Node]) -> Dict[Node, Node]:
+        """Nearest-server assignment for a cache set (deterministic ties)."""
+        inst = self.instance
+        result: Dict[Node, Node] = {}
+        ordered = sorted(caches, key=str)
+        for j in inst.clients:
+            best = inst.producer
+            best_cost = inst.connect_cost[inst.producer][j]
+            for s in ordered:
+                cost = inst.connect_cost[s][j]
+                if cost < best_cost:
+                    best = s
+                    best_cost = cost
+            result[j] = best
+        return result
+
+
+def optimize_chunk_local(
+    instance: ConFLInstance,
+    starts: Optional[Iterable[Iterable[Node]]] = None,
+    exact_terminals: int = MAX_EXACT_TERMINALS,
+    max_rounds: int = 200,
+) -> Tuple[List[Node], Dict[Node, Node], List[Tuple[Node, Node]], float]:
+    """Best (caches, assignment, tree_edges, objective) found by local
+    search over facility subsets.
+
+    Always starts from the empty set (greedy build-up) and the full
+    facility set (greedy pare-down); callers add warm starts (e.g. the
+    dual-ascent ADMIN set).  The best local optimum's tree is re-priced
+    exactly when small enough (``exact_terminals``), and the returned
+    objective reflects that final pricing.
+    """
+    objective = _ChunkObjective(instance, exact_terminals)
+    start_sets: List[FrozenSet[Node]] = [
+        frozenset(),
+        frozenset(objective.facilities),
+    ]
+    if starts:
+        facility_set = set(objective.facilities)
+        for s in starts:
+            candidate = frozenset(i for i in s if i in facility_set)
+            if candidate not in start_sets:
+                start_sets.append(candidate)
+
+    best_set: Optional[FrozenSet[Node]] = None
+    best_cost = math.inf
+    for start in start_sets:
+        local_set, _ = _descend(objective, start, max_rounds)
+        # Compare finals under the exact pricing so ties/finishes are fair.
+        exact_cost = objective.exact_objective(local_set)
+        if exact_cost < best_cost - 1e-12:
+            best_cost = exact_cost
+            best_set = local_set
+    assert best_set is not None
+    _, edges = objective.exact_tree(best_set)
+    assignment = objective.assignment(best_set)
+    return sorted(best_set, key=str), assignment, edges, best_cost
+
+
+def _descend(
+    objective: _ChunkObjective, start: FrozenSet[Node], max_rounds: int
+) -> Tuple[FrozenSet[Node], float]:
+    """Best-improvement add/drop/swap descent from ``start``."""
+    current = start
+    current_cost = objective.evaluate(current)
+    facilities = objective.facilities
+    for _ in range(max_rounds):
+        best_move: Optional[FrozenSet[Node]] = None
+        best_cost = current_cost
+        # Add moves.
+        for i in facilities:
+            if i in current:
+                continue
+            candidate = current | {i}
+            cost = objective.evaluate(candidate)
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_move = candidate
+        # Drop moves.
+        for i in current:
+            candidate = current - {i}
+            cost = objective.evaluate(candidate)
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_move = candidate
+        # Swap moves (only when neither add nor drop improved — keeps the
+        # quadratic neighborhood off the hot path).
+        if best_move is None:
+            for i in current:
+                without = current - {i}
+                for k in facilities:
+                    if k in current:
+                        continue
+                    candidate = without | {k}
+                    cost = objective.evaluate(candidate)
+                    if cost < best_cost - 1e-9:
+                        best_cost = cost
+                        best_move = candidate
+        if best_move is None:
+            break
+        current = best_move
+        current_cost = best_cost
+    return current, current_cost

@@ -1,0 +1,88 @@
+"""Theorem 1 check — empirical approximation ratio of Algorithm 1.
+
+The paper proves the iterated primal-dual scheme preserves the 6.55
+approximation ratio of the underlying ConFL algorithm and observes an
+empirical maximum of 5.6 against the PuLP brute force on small networks.
+
+We report ``Appx objective / Brtf objective`` on the iterative objective
+(Eq. 8) for a set of small instances.  Note: both solvers are per-chunk
+iterations, so the "optimum" is the per-stage optimum; on multi-chunk
+instances the myopic exact iteration can occasionally end *worse* than
+the approximation across stages (ratio < 1) — the theorem's bound is an
+upper bound, which is what the assertion checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Tuple
+
+from repro.workloads import grid_problem, random_problem
+from repro.core import solve_approximation
+from repro.exact import solve_exact
+from repro.experiments.report import ExperimentResult
+
+APPROXIMATION_BOUND = 6.55
+
+
+def run(
+    grid_sides: Sequence[int] = (3, 4),
+    random_sizes: Sequence[Tuple[int, int]] = ((10, 1), (12, 2)),
+    num_chunks: int = 3,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Measure Appx / Brtf objective ratios on small instances."""
+    if fast:
+        grid_sides = (3,)
+        random_sizes = ((10, 1),)
+        num_chunks = 2
+    cases = []
+    for side in grid_sides:
+        cases.append((f"grid{side}x{side}", grid_problem(side, num_chunks=num_chunks)))
+    for size, seed in random_sizes:
+        problem, _ = random_problem(size, seed=seed, num_chunks=num_chunks)
+        cases.append((f"random{size}s{seed}", problem))
+
+    rows: List[List[object]] = []
+    worst = 0.0
+    for label, problem in cases:
+        # Clean Theorem-1 check: on a SINGLE chunk the exact solver is the
+        # true optimum of the same instance, so ratio >= 1 by construction
+        # and the theorem demands <= 6.55.
+        single = replace(problem, num_chunks=1)
+        exact_1 = solve_exact(single)
+        appx_1 = solve_approximation(single)
+        ratio_1 = appx_1.objective_value() / exact_1.objective_value()
+        worst = max(worst, ratio_1)
+        rows.append(
+            [label, problem.graph.num_nodes, 1,
+             exact_1.objective_value(), appx_1.objective_value(), ratio_1]
+        )
+        # Multi-chunk trajectory ratio, as the paper measures (its "5.6"):
+        # both solvers iterate per chunk, so the exact side is per-stage
+        # optimal but not trajectory optimal — ratios below 1 can occur.
+        exact = solve_exact(problem)
+        exact.validate()
+        appx = solve_approximation(problem)
+        appx.validate()
+        ratio = appx.objective_value() / exact.objective_value()
+        worst = max(worst, ratio)
+        rows.append(
+            [label, problem.graph.num_nodes, num_chunks,
+             exact.objective_value(), appx.objective_value(), ratio]
+        )
+    rows.append(["WORST", "-", "-", "-", "-", worst])
+    return ExperimentResult(
+        experiment_id="approx_ratio",
+        description="empirical approximation ratio vs the exact optimum "
+        "(Theorem 1 bound: 6.55; paper observes ≤ 5.6)",
+        headers=["instance", "nodes", "chunks", "exact_obj", "appx_obj",
+                 "ratio"],
+        rows=rows,
+        notes=[
+            f"bound holds iff every ratio <= {APPROXIMATION_BOUND}",
+            "single-chunk rows are true-optimum comparisons (ratio >= 1); "
+            "multi-chunk rows compare per-stage-optimal trajectories, "
+            "where the myopic exact iteration can even lose to Appx",
+        ],
+    )

@@ -1,0 +1,67 @@
+"""Fig. 9 — per-chunk contention cost with 10 distinct chunks.
+
+Grids of 4×4 and 6×6, 10 chunks, capacity 5.  The paper: the static
+baselines "always choose the same nodes for the first five chunks, and
+the same nodes for the next five chunks", producing uneven per-chunk
+costs; the fair algorithms keep per-chunk costs "evener ... and lower",
+which matters because a whole data item completes only when its slowest
+chunk arrives.
+
+Like Fig. 8, both cost accountings are reported: the baselines' two-
+plateau structure is sharpest when every chunk is priced on the final
+loaded network (``final_cost``), while the "ours are lower" comparison is
+an accumulated-cost statement (``stage_cost``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Sequence
+
+from repro.workloads import grid_problem
+from repro.metrics import evaluate_contention
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_ALGORITHMS, run_algorithms
+
+
+def run(
+    sides: Sequence[int] = (4, 6),
+    num_chunks: int = 10,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Regenerate Fig. 9's per-chunk cost bars + spread summary."""
+    if fast:
+        sides = (4,)
+    rows: List[List[object]] = []
+    for side in sides:
+        problem = grid_problem(side, num_chunks=num_chunks)
+        placements = run_algorithms(problem, DEFAULT_ALGORITHMS)
+        for name, placement in placements.items():
+            stage_values = [
+                chunk.stage_cost.access + chunk.stage_cost.dissemination
+                for chunk in placement.chunks
+            ]
+            final_per_chunk = evaluate_contention(placement).per_chunk_total()
+            final_values = [final_per_chunk[c] for c in sorted(final_per_chunk)]
+            for chunk, (stage, final) in enumerate(
+                zip(stage_values, final_values)
+            ):
+                rows.append([side, name, chunk, stage, final])
+            rows.append(
+                [side, name, "stdev",
+                 statistics.pstdev(stage_values) if len(stage_values) > 1 else 0.0,
+                 statistics.pstdev(final_values) if len(final_values) > 1 else 0.0]
+            )
+    return ExperimentResult(
+        experiment_id="fig9",
+        description=f"per-chunk contention cost, {num_chunks} chunks "
+        "(capacity 5/node); stdev rows summarize evenness",
+        headers=["grid_side", "algorithm", "chunk", "stage_cost",
+                 "final_cost"],
+        rows=rows,
+        notes=[
+            "paper shape: baselines show two cost plateaus (chunks 0-4 vs "
+            "5-9, final-state pricing) and higher spread; ours are evener "
+            "and mostly lower",
+        ],
+    )

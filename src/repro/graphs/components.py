@@ -1,0 +1,48 @@
+"""Connected-component utilities.
+
+The multi-item baseline extension (Sec. V-B) repeatedly removes exhausted
+caching nodes and continues "on the largest connected component" of what
+remains; these helpers implement that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_order
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """All connected components, largest first (ties broken arbitrarily)."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = set(bfs_order(graph, node))
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True if the graph is non-empty and all nodes are mutually reachable."""
+    if graph.num_nodes == 0:
+        return False
+    first = next(iter(graph.nodes()))
+    return len(bfs_order(graph, first)) == graph.num_nodes
+
+
+def largest_connected_component(graph: Graph) -> Set[Node]:
+    """The node set of the largest connected component.
+
+    Raises
+    ------
+    ValueError
+        If the graph has no nodes.
+    """
+    if graph.num_nodes == 0:
+        raise ValueError("graph has no nodes")
+    return connected_components(graph)[0]

@@ -1,0 +1,71 @@
+"""Minimum spanning trees: Kruskal and Prim.
+
+MSTs are the backbone of the Kou–Markowsky–Berman Steiner-tree
+approximation (:mod:`repro.graphs.steiner`), which Algorithm 1's phase 2
+uses to connect the selected caching (ADMIN) nodes to the producer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.unionfind import UnionFind
+
+
+def kruskal_mst(graph: Graph) -> Graph:
+    """Minimum spanning tree by Kruskal's algorithm.
+
+    Raises :class:`DisconnectedGraphError` if the graph is not connected
+    (an MST then does not exist).
+    """
+    edges: List[Tuple[float, int, Node, Node]] = [
+        (w, i, u, v) for i, (u, v, w) in enumerate(graph.edges())
+    ]
+    edges.sort(key=lambda e: (e[0], e[1]))
+    uf = UnionFind(graph.nodes())
+    tree = Graph()
+    tree.add_nodes(graph.nodes())
+    for w, _, u, v in edges:
+        if uf.union(u, v):
+            tree.add_edge(u, v, w)
+            if tree.num_edges == graph.num_nodes - 1:
+                break
+    if graph.num_nodes > 0 and tree.num_edges != graph.num_nodes - 1:
+        raise DisconnectedGraphError("graph is not connected; no spanning tree")
+    return tree
+
+
+def prim_mst(graph: Graph) -> Graph:
+    """Minimum spanning tree by Prim's algorithm (heap-based)."""
+    if graph.num_nodes == 0:
+        return Graph()
+    start = next(iter(graph.nodes()))
+    tree = Graph()
+    tree.add_node(start)
+    visited = {start}
+    heap: List[Tuple[float, int, Node, Node]] = []
+    counter = 0
+    for neighbor, w in graph.adjacency(start).items():
+        heapq.heappush(heap, (w, counter, start, neighbor))
+        counter += 1
+    while heap and len(visited) < graph.num_nodes:
+        w, _, u, v = heapq.heappop(heap)
+        if v in visited:
+            continue
+        visited.add(v)
+        tree.add_edge(u, v, w)
+        for neighbor, nw in graph.adjacency(v).items():
+            if neighbor not in visited:
+                heapq.heappush(heap, (nw, counter, v, neighbor))
+                counter += 1
+    if len(visited) != graph.num_nodes:
+        raise DisconnectedGraphError("graph is not connected; no spanning tree")
+    return tree
+
+
+def tree_weight(tree: Graph) -> float:
+    """Total edge weight of a graph (typically a tree)."""
+    return sum(w for _, _, w in tree.edges())

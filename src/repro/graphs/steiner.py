@@ -1,0 +1,275 @@
+"""Steiner-tree approximation (Kou–Markowsky–Berman, ratio 2).
+
+Algorithm 1's phase 2 must "construct [a] Steiner tree" connecting the
+selected caching (ADMIN) nodes and the producer, so data chunks can be
+disseminated along it (constraint 6 of the ILP).  The paper cites the
+Robins–Zelikovsky 1.55-approximation [25]; we substitute the classic KMB
+2-approximation — polynomial, constant-ratio, and dramatically simpler —
+and apply the *same* tree builder uniformly to every algorithm so all
+comparisons stay apples-to-apples (see DESIGN.md §5).
+
+KMB steps:
+
+1. Build the metric closure on the terminal set (all-pairs shortest paths
+   among terminals).
+2. Compute an MST of that complete graph.
+3. Expand each MST edge into its underlying shortest path.
+4. Take the MST of the expanded subgraph and prune non-terminal leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DisconnectedGraphError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.mst import kruskal_mst
+from repro.graphs.shortest_paths import dijkstra, path_from_tree
+
+
+def metric_closure(
+    graph: Graph, terminals: Iterable[Node]
+) -> Tuple[Graph, Dict[Tuple[Node, Node], List[Node]]]:
+    """Complete graph on ``terminals`` weighted by shortest-path distance.
+
+    Returns the closure graph and a map from each closure edge ``(u, v)``
+    (both orientations) to the realizing path in ``graph``.
+    """
+    terminal_list = list(dict.fromkeys(terminals))
+    for t in terminal_list:
+        if t not in graph:
+            raise NodeNotFoundError(t)
+    closure = Graph()
+    closure.add_nodes(terminal_list)
+    paths: Dict[Tuple[Node, Node], List[Node]] = {}
+    for i, u in enumerate(terminal_list):
+        dist, parent = dijkstra(graph, u)
+        for v in terminal_list[i + 1 :]:
+            if v not in dist:
+                raise DisconnectedGraphError(
+                    f"terminals {u!r} and {v!r} are not connected"
+                )
+            closure.add_edge(u, v, dist[v])
+            path = path_from_tree(parent, u, v)
+            paths[(u, v)] = path
+            paths[(v, u)] = list(reversed(path))
+    return closure, paths
+
+
+def steiner_tree(graph: Graph, terminals: Iterable[Node]) -> Graph:
+    """A Steiner tree spanning ``terminals`` (KMB 2-approximation).
+
+    Returns a subgraph of ``graph`` that is a tree containing every
+    terminal.  Edge weights are inherited from ``graph``.
+
+    A single terminal yields a one-node tree; an empty terminal set is an
+    error.
+    """
+    terminal_list = list(dict.fromkeys(terminals))
+    if not terminal_list:
+        raise ValueError("terminal set must be non-empty")
+    if len(terminal_list) == 1:
+        tree = Graph()
+        if terminal_list[0] not in graph:
+            raise NodeNotFoundError(terminal_list[0])
+        tree.add_node(terminal_list[0])
+        return tree
+
+    closure, closure_paths = metric_closure(graph, terminal_list)
+    closure_mst = kruskal_mst(closure)
+
+    # Expand closure MST edges into their realizing paths.
+    expanded = Graph()
+    for u, v, _ in closure_mst.edges():
+        path = closure_paths[(u, v)]
+        for a, b in zip(path, path[1:]):
+            if not expanded.has_edge(a, b):
+                expanded.add_edge(a, b, graph.weight(a, b))
+
+    # MST of the expanded subgraph, then prune non-terminal leaves.
+    tree = kruskal_mst(expanded)
+    terminal_set = set(terminal_list)
+    pruned = True
+    while pruned:
+        pruned = False
+        for node in list(tree.nodes()):
+            if node not in terminal_set and tree.degree(node) <= 1:
+                tree.remove_node(node)
+                pruned = True
+    return tree
+
+
+def steiner_cost(tree: Graph) -> float:
+    """Total edge weight of a Steiner tree (the dissemination cost term)."""
+    return sum(w for _, _, w in tree.edges())
+
+
+def all_pairs_with_parents(
+    graph: Graph,
+) -> Tuple[Dict[Node, Dict[Node, float]], Dict[Node, Dict[Node, Node]]]:
+    """All-pairs Dijkstra distances *and* parent trees.
+
+    Callers that price many Steiner trees on the same graph (the local
+    search in :mod:`repro.exact.local_search`) compute this once and pass
+    it to :func:`dreyfus_wagner` / reuse it for metric closures.
+    """
+    dist: Dict[Node, Dict[Node, float]] = {}
+    parents: Dict[Node, Dict[Node, Node]] = {}
+    for v in graph.nodes():
+        dist[v], parents[v] = dijkstra(graph, v)
+    return dist, parents
+
+
+def dreyfus_wagner(
+    graph: Graph,
+    terminals: Iterable[Node],
+    apsp: Optional[Tuple[Dict[Node, Dict[Node, float]], Dict[Node, Dict[Node, Node]]]] = None,
+) -> Tuple[float, Graph]:
+    """*Exact* minimum Steiner tree by the Dreyfus–Wagner DP.
+
+    Exponential in the number of terminals (``O(3^t · n)`` subset states),
+    so intended for the tiny instances the brute-force cross-checks use
+    (``t`` ≲ 8).  Returns ``(cost, tree)``; the tree realizes the optimal
+    cost using shortest-path expansions of the DP decisions.
+
+    Used to validate both the KMB 2-approximation and the exact ILP's
+    flow-based connectivity encoding.
+    """
+    terminal_list = list(dict.fromkeys(terminals))
+    if not terminal_list:
+        raise ValueError("terminal set must be non-empty")
+    for t in terminal_list:
+        if t not in graph:
+            raise NodeNotFoundError(t)
+    if len(terminal_list) == 1:
+        tree = Graph()
+        tree.add_node(terminal_list[0])
+        return 0.0, tree
+    if len(terminal_list) > 16:
+        raise ValueError(
+            f"dreyfus_wagner is exponential in terminals; got "
+            f"{len(terminal_list)} (max 16)"
+        )
+
+    nodes = list(graph.nodes())
+    if apsp is not None:
+        dist, parents = apsp
+    else:
+        dist, parents = all_pairs_with_parents(graph)
+    for t in terminal_list:
+        for u in terminal_list:
+            if u not in dist[t]:
+                raise DisconnectedGraphError(
+                    f"terminals {t!r} and {u!r} are not connected"
+                )
+
+    # DP over subsets of terminals[1:]; root the tree at terminals[0].
+    base = terminal_list[1:]
+    full = (1 << len(base)) - 1
+    INF = float("inf")
+    # S[mask][v] = cost of optimal tree spanning {base_i : i in mask} ∪ {v}
+    S: List[Dict[Node, float]] = [dict() for _ in range(full + 1)]
+    # choice[mask][v] = how the optimum was formed, for reconstruction:
+    #   ("leaf", t)            — mask is a singleton {t}: path v→t
+    #   ("split", m1, m2, v)   — two subtrees joined at v
+    #   ("steal", u, mask)     — path v→u plus tree S[mask][u]
+    choice: List[Dict[Node, tuple]] = [dict() for _ in range(full + 1)]
+
+    for i, t in enumerate(base):
+        mask = 1 << i
+        for v in nodes:
+            S[mask][v] = dist[v].get(t, INF)
+            choice[mask][v] = ("leaf", t)
+
+    masks_by_size = sorted(range(1, full + 1), key=lambda m: bin(m).count("1"))
+    for mask in masks_by_size:
+        if bin(mask).count("1") < 2:
+            continue
+        # Merge step: best split of mask into two non-empty halves at v.
+        merged: Dict[Node, float] = {}
+        merged_choice: Dict[Node, tuple] = {}
+        sub = (mask - 1) & mask
+        while sub:
+            other = mask ^ sub
+            if sub < other:  # each unordered split once
+                for v in nodes:
+                    c = S[sub].get(v, INF) + S[other].get(v, INF)
+                    if c < merged.get(v, INF):
+                        merged[v] = c
+                        merged_choice[v] = ("split", sub, other, v)
+            sub = (sub - 1) & mask
+        # Propagation step: Dijkstra-like relaxation over the metric
+        # closure — S[mask][v] = min_u (dist(v, u) + merged[u]).
+        S[mask] = {}
+        choice[mask] = {}
+        for v in nodes:
+            best = INF
+            best_choice = None
+            for u, mu in merged.items():
+                c = dist[v].get(u, INF) + mu
+                if c < best:
+                    best = c
+                    best_choice = ("steal", u, mask) if u != v else merged_choice[u]
+            if best < INF:
+                S[mask][v] = best
+                choice[mask][v] = best_choice
+
+    root = terminal_list[0]
+    cost = S[full][root]
+
+    # ------------------------------------------------------------------
+    # Reconstruction: walk the choice structure, emitting shortest paths.
+    # ------------------------------------------------------------------
+    tree = Graph()
+    tree.add_node(root)
+
+    def add_path(a: Node, b: Node) -> None:
+        path = path_from_tree(parents[a], a, b)
+        for u, v in zip(path, path[1:]):
+            if not tree.has_edge(u, v):
+                tree.add_edge(u, v, graph.weight(u, v))
+
+    def rebuild(mask: int, v: Node) -> None:
+        entry = choice[mask].get(v)
+        if entry is None:
+            return
+        kind = entry[0]
+        if kind == "leaf":
+            add_path(v, entry[1])
+        elif kind == "split":
+            _, m1, m2, at = entry
+            rebuild(m1, at)
+            rebuild(m2, at)
+        elif kind == "steal":
+            _, u, m = entry
+            add_path(v, u)
+            # u's own entry is the split (or leaf) that formed merged[u].
+            sub = (m - 1) & m
+            best = None
+            best_cost = float("inf")
+            while sub:
+                other = m ^ sub
+                if sub < other:
+                    c = S[sub].get(u, float("inf")) + S[other].get(u, float("inf"))
+                    if c < best_cost:
+                        best_cost = c
+                        best = (sub, other)
+                sub = (sub - 1) & m
+            if best is not None:
+                rebuild(best[0], u)
+                rebuild(best[1], u)
+
+    rebuild(full, root)
+    # The reconstructed subgraph can contain redundant cycles when paths
+    # overlap; reduce to an MST and prune non-terminals, like KMB.
+    if tree.num_nodes > 1:
+        tree = kruskal_mst(tree)
+        terminal_set = set(terminal_list)
+        pruned = True
+        while pruned:
+            pruned = False
+            for node in list(tree.nodes()):
+                if node not in terminal_set and tree.degree(node) <= 1:
+                    tree.remove_node(node)
+                    pruned = True
+    return cost, tree

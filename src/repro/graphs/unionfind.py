@@ -1,0 +1,75 @@
+"""Disjoint-set (union-find) structure with path compression and union by rank.
+
+Used by Kruskal's MST (:mod:`repro.graphs.mst`) and by connectivity checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+
+class UnionFind:
+    """Classic disjoint-set forest.
+
+    Elements are created lazily on first :meth:`find`, or eagerly via the
+    constructor.
+
+    Examples
+    --------
+    >>> uf = UnionFind([1, 2, 3])
+    >>> uf.union(1, 2)
+    True
+    >>> uf.connected(1, 2)
+    True
+    >>> uf.connected(1, 3)
+    False
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set if unseen."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the representative of ``element``'s set (with compression)."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,116 @@
+"""Solver backends translating :class:`~repro.ilp.model._MatrixForm` models.
+
+Each backend returns a raw tuple ``(status, x, objective, nodes_explored)``
+with status in ``{"optimal", "infeasible", "unbounded"}``; the model layer
+turns that into exceptions / :class:`~repro.ilp.model.Solution`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+RawResult = Tuple[str, Optional[np.ndarray], Optional[float], int]
+
+
+@contextlib.contextmanager
+def _silence_native_stdout() -> Iterator[None]:
+    """Redirect C-level stdout to /dev/null for the duration.
+
+    HiGHS (inside scipy) prints debug lines directly to the process's
+    stdout, bypassing Python's ``sys.stdout``; an fd-level redirect is the
+    only way to keep solver runs quiet.
+    """
+    try:
+        stdout_fd = os.dup(1)
+    except OSError:  # pragma: no cover - no real stdout (embedded etc.)
+        yield
+        return
+    try:
+        with open(os.devnull, "wb") as devnull:
+            os.dup2(devnull.fileno(), 1)
+            try:
+                yield
+            finally:
+                os.dup2(stdout_fd, 1)
+    finally:
+        os.close(stdout_fd)
+
+
+def highs_available() -> bool:
+    """True if scipy's MILP interface (HiGHS) can be imported."""
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is a hard dependency here
+        return False
+    return True
+
+
+def solve_with_highs(form, time_limit: Optional[float] = None) -> RawResult:
+    """Solve via :func:`scipy.optimize.milp` (HiGHS)."""
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n = form.c.shape[0]
+    constraints = []
+    if form.A_ub is not None:
+        constraints.append(
+            LinearConstraint(form.A_ub, -np.inf * np.ones(form.b_ub.shape), form.b_ub)
+        )
+    if form.A_eq is not None:
+        constraints.append(LinearConstraint(form.A_eq, form.b_eq, form.b_eq))
+
+    lower = np.array(
+        [(-np.inf if lb is None else lb) for lb, _ in form.bounds], dtype=float
+    )
+    upper = np.array(
+        [(np.inf if ub is None else ub) for _, ub in form.bounds], dtype=float
+    )
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+
+    with _silence_native_stdout():
+        result = milp(
+            c=form.c,
+            constraints=constraints or None,
+            integrality=form.integrality,
+            bounds=Bounds(lower, upper),
+            options=options,
+        )
+    if result.status == 0:
+        return "optimal", np.asarray(result.x), float(result.fun), int(
+            getattr(result, "mip_node_count", 0) or 0
+        )
+    if result.status == 2:
+        return "infeasible", None, None, 0
+    if result.status == 3:
+        return "unbounded", None, None, 0
+    # Timeouts / iteration limits: surface the best message we have.
+    raise RuntimeError(f"HiGHS failed: {result.message}")
+
+
+def solve_with_branch_and_bound(
+    form,
+    time_limit: Optional[float] = None,
+    gap: float = 1e-9,
+    lp_engine: str = "scipy",
+) -> RawResult:
+    """Solve via our own branch-and-bound (:mod:`repro.ilp.branch_and_bound`)."""
+    from repro.ilp.branch_and_bound import branch_and_bound
+
+    result = branch_and_bound(
+        c=form.c,
+        A_ub=form.A_ub,
+        b_ub=form.b_ub,
+        A_eq=form.A_eq,
+        b_eq=form.b_eq,
+        bounds=form.bounds,
+        integrality=form.integrality,
+        gap=gap,
+        time_limit=time_limit,
+        lp_engine=lp_engine,
+    )
+    return result.status, result.x, result.objective, result.nodes_explored

@@ -1,0 +1,190 @@
+"""Branch-and-bound MILP solver over LP relaxations.
+
+A classic best-first branch-and-bound:
+
+* The LP relaxation of each node is solved with scipy's HiGHS-backed
+  ``linprog`` or with our own simplex (:mod:`repro.ilp.simplex`).
+* Branching variable: most fractional integral variable.
+* Node order: best (lowest) relaxation bound first, so the incumbent gap
+  shrinks monotonically.
+* Pruning: nodes whose bound exceeds ``incumbent - gap`` are cut.
+
+This deliberately favors clarity over speed — it exists so the repository
+carries its *own* exact solver (the paper used PuLP; see DESIGN.md §5) and
+so the HiGHS backend has an independent implementation to agree with.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_INT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class BnBResult:
+    """Raw branch-and-bound outcome (status, solution, objective, nodes)."""
+
+    status: str
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+    nodes_explored: int
+
+
+def _solve_relaxation_scipy(c, A_ub, b_ub, A_eq, b_eq, bounds):
+    from scipy.optimize import linprog
+
+    res = linprog(
+        c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if res.status == 0:
+        return "optimal", res.x, res.fun
+    if res.status == 2:
+        return "infeasible", None, None
+    if res.status == 3:
+        return "unbounded", None, None
+    return "error", None, None
+
+
+def _solve_relaxation_simplex(c, A_ub, b_ub, A_eq, b_eq, bounds):
+    from repro.ilp.simplex import solve_lp
+
+    res = solve_lp(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds)
+    return res.status, res.x, res.objective
+
+
+def branch_and_bound(
+    c: np.ndarray,
+    A_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    A_eq: Optional[np.ndarray],
+    b_eq: Optional[np.ndarray],
+    bounds: List[Tuple[Optional[float], Optional[float]]],
+    integrality: np.ndarray,
+    gap: float = 1e-9,
+    time_limit: Optional[float] = None,
+    lp_engine: str = "scipy",
+    max_nodes: int = 200_000,
+) -> BnBResult:
+    """Minimize ``c @ x`` subject to the given constraints and integrality.
+
+    Parameters
+    ----------
+    integrality:
+        Array of 0/1 flags; 1 marks a variable that must be integer.
+    gap:
+        Absolute gap: a node is pruned when its LP bound is within ``gap``
+        of the incumbent.
+    lp_engine:
+        ``"scipy"`` (default) or ``"simplex"`` for the pure-numpy engine.
+
+    Returns
+    -------
+    BnBResult with status ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+    """
+    if lp_engine == "scipy":
+        solve_relaxation = _solve_relaxation_scipy
+    elif lp_engine == "simplex":
+        solve_relaxation = _solve_relaxation_simplex
+    else:
+        raise ValueError(f"unknown lp_engine {lp_engine!r}")
+
+    deadline = None if time_limit is None else time.monotonic() + time_limit
+    integral_indices = np.flatnonzero(np.asarray(integrality) != 0)
+
+    status, x0, bound0 = solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, bounds)
+    if status != "optimal":
+        return BnBResult(status, None, None, 1)
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    nodes_explored = 1
+    stopped_early = False
+
+    # Heap entries: (lp_bound, tiebreak, bounds_list, lp_solution)
+    counter = 0
+    heap: List[Tuple[float, int, list, np.ndarray]] = []
+    heapq.heappush(heap, (bound0, counter, list(bounds), x0))
+
+    while heap:
+        lp_bound, _, node_bounds, x = heapq.heappop(heap)
+        if lp_bound >= incumbent_obj - gap:
+            break  # best-first: every remaining node is at least as bad
+        if deadline is not None and time.monotonic() > deadline:
+            stopped_early = True
+            break
+        if nodes_explored >= max_nodes:
+            stopped_early = True
+            break
+
+        frac_index = _most_fractional(x, integral_indices)
+        if frac_index < 0:
+            # Integral solution: candidate incumbent.
+            if lp_bound < incumbent_obj:
+                incumbent_obj = lp_bound
+                incumbent_x = x
+            continue
+
+        value = x[frac_index]
+        floor_v, ceil_v = math.floor(value), math.ceil(value)
+        for new_lb, new_ub, side in (
+            (None, float(floor_v), "down"),
+            (float(ceil_v), None, "up"),
+        ):
+            child = list(node_bounds)
+            lb, ub = child[frac_index]
+            if side == "down":
+                ub = new_ub if ub is None else min(ub, new_ub)
+            else:
+                lb = new_lb if lb is None else max(lb, new_lb)
+            if lb is not None and ub is not None and lb > ub:
+                continue
+            child[frac_index] = (lb, ub)
+            status, cx, cbound = solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, child)
+            nodes_explored += 1
+            if status != "optimal":
+                continue
+            if cbound >= incumbent_obj - gap:
+                continue
+            if _most_fractional(cx, integral_indices) < 0 and cbound < incumbent_obj:
+                incumbent_obj = cbound
+                incumbent_x = cx
+                continue
+            counter += 1
+            heapq.heappush(heap, (cbound, counter, child, cx))
+
+    if incumbent_x is None:
+        if stopped_early:
+            raise RuntimeError(
+                "branch-and-bound hit its time/node limit before finding "
+                "any integral solution; raise the limit or use the HiGHS "
+                "backend"
+            )
+        return BnBResult("infeasible", None, None, nodes_explored)
+    snapped = incumbent_x.copy()
+    snapped[integral_indices] = np.round(snapped[integral_indices])
+    return BnBResult(
+        "optimal", snapped, float(c @ snapped), nodes_explored
+    )
+
+
+def _most_fractional(x: np.ndarray, integral_indices: np.ndarray) -> int:
+    """Index of the integral variable farthest from its nearest integer.
+
+    Returns -1 when all integral variables are (tolerance-)integral.
+    """
+    best_index = -1
+    best_frac = _INT_TOL
+    for i in integral_indices:
+        frac = abs(x[i] - round(x[i]))
+        if frac > best_frac:
+            best_frac = frac
+            best_index = int(i)
+    return best_index

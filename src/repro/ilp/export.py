@@ -1,0 +1,94 @@
+"""Export models in CPLEX LP text format.
+
+Debugging aid for the exact formulations (and a PuLP-parity feature:
+``LpProblem.writeLP`` is how the paper's authors would have inspected
+their models).  The output is accepted by standard solvers (CPLEX,
+Gurobi, HiGHS, CBC), so a model built here can be solved elsewhere.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.ilp.expression import BINARY, EQUAL, GREATER_EQUAL, INTEGER, LESS_EQUAL
+from repro.ilp.model import MAXIMIZE, Model
+
+_SENSE_TOKENS = {LESS_EQUAL: "<=", GREATER_EQUAL: ">=", EQUAL: "="}
+_NAME_SAFE = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def _safe(name: str) -> str:
+    """LP-format-safe identifier (no spaces/operators, not starting with a
+    digit or 'e')."""
+    cleaned = _NAME_SAFE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit() or cleaned[0] in "eE.":
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def _terms(expr) -> str:
+    parts: List[str] = []
+    for var, coeff in expr.terms.items():
+        if coeff == 0:
+            continue
+        sign = "-" if coeff < 0 else "+"
+        magnitude = abs(coeff)
+        if parts or sign == "-":
+            parts.append(f"{sign} {magnitude:g} {_safe(var.name)}")
+        else:
+            parts.append(f"{magnitude:g} {_safe(var.name)}")
+    return " ".join(parts) if parts else "0"
+
+
+def to_lp_string(model: Model) -> str:
+    """Serialize ``model`` to CPLEX LP format."""
+    lines: List[str] = []
+    lines.append("\\ " + f"model: {model.name}")
+    lines.append("Maximize" if model.sense == MAXIMIZE else "Minimize")
+    objective = _terms(model.objective)
+    if model.objective.constant:
+        sign = "+" if model.objective.constant > 0 else "-"
+        objective += f" {sign} {abs(model.objective.constant):g} __const"
+    lines.append(f" obj: {objective}")
+    lines.append("Subject To")
+    for constraint in model.constraints:
+        sense = _SENSE_TOKENS[constraint.sense]
+        lines.append(
+            f" {_safe(constraint.name)}: {_terms(constraint.expr)} "
+            f"{sense} {constraint.rhs:g}"
+        )
+    bounds: List[str] = []
+    generals: List[str] = []
+    binaries: List[str] = []
+    for var in model.variables:
+        name = _safe(var.name)
+        if var.domain == BINARY:
+            binaries.append(name)
+            continue
+        if var.domain == INTEGER:
+            generals.append(name)
+        lower = "-inf" if var.lower is None else f"{var.lower:g}"
+        upper = "+inf" if var.upper is None else f"{var.upper:g}"
+        if var.lower == 0.0 and var.upper is None:
+            continue  # LP default bound
+        bounds.append(f" {lower} <= {name} <= {upper}")
+    if model.objective.constant:
+        bounds.append(" __const = 1")
+    if bounds:
+        lines.append("Bounds")
+        lines.extend(bounds)
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(generals))
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(binaries))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp(model: Model, path: str) -> None:
+    """Write the LP serialization of ``model`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_lp_string(model))

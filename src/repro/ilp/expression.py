@@ -1,0 +1,255 @@
+"""Linear expressions, variables and constraints for the ILP modeling layer.
+
+The paper obtains its brute-force optimum with the PuLP modeler (Sec. V-A).
+PuLP is not available offline, so :mod:`repro.ilp` provides an equivalent
+modeling API built from scratch (DESIGN.md §5).  This module is the
+expression algebra: :class:`Variable` and :class:`LinExpr` overload ``+``,
+``-``, ``*`` and the comparison operators so models read like the math:
+
+>>> from repro.ilp import Model
+>>> m = Model("demo")
+>>> x, y = m.binary_var("x"), m.binary_var("y")
+>>> c = x + 2 * y <= 2
+>>> c.sense
+'<='
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+CONTINUOUS = "continuous"
+INTEGER = "integer"
+BINARY = "binary"
+
+LESS_EQUAL = "<="
+GREATER_EQUAL = ">="
+EQUAL = "=="
+
+
+class Variable:
+    """A decision variable owned by a :class:`~repro.ilp.model.Model`.
+
+    Do not instantiate directly — use ``Model.continuous_var`` /
+    ``integer_var`` / ``binary_var`` so the model can track it.
+    """
+
+    __slots__ = ("name", "lower", "upper", "domain", "index")
+
+    def __init__(
+        self,
+        name: str,
+        lower: Optional[Number],
+        upper: Optional[Number],
+        domain: str,
+        index: int,
+    ) -> None:
+        if domain not in (CONTINUOUS, INTEGER, BINARY):
+            raise ValueError(f"unknown variable domain {domain!r}")
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.domain = domain
+        self.index = index
+
+    @property
+    def is_integral(self) -> bool:
+        """True for integer and binary variables."""
+        return self.domain in (INTEGER, BINARY)
+
+    # -- algebra -------------------------------------------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other: object) -> "LinExpr":
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (-self._expr()) + other
+
+    def __mul__(self, other: object) -> "LinExpr":
+        return self._expr() * other
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1.0
+
+    def __le__(self, other: object) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other: object) -> "Constraint":
+        return self._expr() >= other
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        return self._expr() == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``Σ coeff_i · var_i + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Optional[Mapping[Variable, float]] = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.terms: Dict[Variable, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------
+    @staticmethod
+    def from_terms(pairs: Iterable[Tuple[Number, Variable]]) -> "LinExpr":
+        """Build ``Σ coeff · var`` from ``(coeff, var)`` pairs efficiently.
+
+        Useful for big objectives where repeated ``+`` would be quadratic.
+        """
+        expr = LinExpr()
+        for coeff, var in pairs:
+            expr.terms[var] = expr.terms.get(var, 0.0) + float(coeff)
+        return expr
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.constant)
+
+    # -- algebra -------------------------------------------------------
+    def _coerce(self, other: object) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._expr()
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=float(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: object) -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        out = self.copy()
+        out.constant += rhs.constant
+        for var, coeff in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coeff
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (rhs * -1.0)
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, other: object) -> "LinExpr":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        scale = float(other)
+        return LinExpr(
+            {var: coeff * scale for var, coeff in self.terms.items()},
+            self.constant * scale,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints ----------------------------------
+    def __le__(self, other: object) -> "Constraint":
+        return Constraint(self - other, LESS_EQUAL)
+
+    def __ge__(self, other: object) -> "Constraint":
+        return Constraint(self - other, GREATER_EQUAL)
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - other, EQUAL)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # -- evaluation ------------------------------------------------------
+    def value(self, assignment: Mapping[Variable, float]) -> float:
+        """Evaluate under a variable assignment (missing vars count as 0)."""
+        total = self.constant
+        for var, coeff in self.terms.items():
+            total += coeff * assignment.get(var, 0.0)
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` in normalized form.
+
+    Built by comparing expressions; the right-hand side is folded into the
+    expression's constant, so the stored form is always ``lhs - rhs`` with
+    a zero right side.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = "") -> None:
+        if sense not in (LESS_EQUAL, GREATER_EQUAL, EQUAL):
+            raise ValueError(f"unknown constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side after moving the constant over: ``-constant``."""
+        return -self.expr.constant
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """How much the assignment violates this constraint (0 if satisfied)."""
+        lhs = self.expr.value(assignment)
+        if self.sense == LESS_EQUAL:
+            return max(0.0, lhs)
+        if self.sense == GREATER_EQUAL:
+            return max(0.0, -lhs)
+        return abs(lhs)
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name or '<anon>'}: {self.expr!r} {self.sense} 0)"
+
+
+def lin_sum(items: Iterable[Union[LinExpr, Variable, Number]]) -> LinExpr:
+    """Sum expressions/variables/numbers in linear time.
+
+    Equivalent to ``sum(items)`` but avoids building O(n) intermediate
+    expressions — use it for objectives with thousands of terms.
+    """
+    out = LinExpr()
+    for item in items:
+        if isinstance(item, Variable):
+            out.terms[item] = out.terms.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            out.constant += item.constant
+            for var, coeff in item.terms.items():
+                out.terms[var] = out.terms.get(var, 0.0) + coeff
+        elif isinstance(item, (int, float)):
+            out.constant += float(item)
+        else:
+            raise TypeError(f"cannot sum {type(item).__name__} into a LinExpr")
+    return out

@@ -1,0 +1,295 @@
+"""A dense two-phase primal simplex LP solver (pure numpy).
+
+This is the self-contained LP engine behind the branch-and-bound MILP
+solver (:mod:`repro.ilp.branch_and_bound`), replacing the external solver
+PuLP would normally shell out to.  It targets the small/medium instances
+the brute-force experiments need (tens to low hundreds of variables), not
+industrial scale — :mod:`scipy.optimize.linprog` remains available as a
+faster backend and the two are cross-checked in the test suite.
+
+Form solved by :func:`solve_lp` (general) / :func:`solve_standard_lp`
+(equational):
+
+    minimize    c^T x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lb <= x <= ub
+
+Implementation notes
+--------------------
+* Two-phase method: phase 1 drives artificial variables to zero to find a
+  basic feasible solution, phase 2 optimizes the real objective.
+* Bland's anti-cycling rule is used throughout; slower per pivot but
+  guarantees termination.
+* General bounds are reduced to the standard form ``x >= 0`` by variable
+  shifting, negation and free-variable splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+
+_TOL = 1e-9
+
+
+@dataclass
+class LPResult:
+    """Outcome of an LP solve."""
+
+    status: str
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+
+def solve_standard_lp(
+    c: np.ndarray, A: np.ndarray, b: np.ndarray, max_iterations: int = 100_000
+) -> LPResult:
+    """Solve ``min c^T x  s.t.  A x = b, x >= 0`` by two-phase simplex."""
+    c = np.asarray(c, dtype=float)
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    b = np.asarray(b, dtype=float).copy()
+    m, n = A.shape
+    if c.shape != (n,):
+        raise ValueError(f"c has shape {c.shape}, expected ({n},)")
+    if b.shape != (m,):
+        raise ValueError(f"b has shape {b.shape}, expected ({m},)")
+
+    # Make every RHS non-negative so artificials start feasible.
+    A = A.copy()
+    neg = b < 0
+    A[neg] *= -1
+    b[neg] *= -1
+
+    # Phase 1: minimize the sum of artificial variables.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = A
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    basis = list(range(n, n + m))
+    # Phase-1 objective row: sum of artificial rows (reduced costs).
+    tableau[m, :] = -tableau[:m, :].sum(axis=0)
+    tableau[m, n : n + m] = 0.0
+
+    status = _simplex_iterate(tableau, basis, num_real=n + m, max_iterations=max_iterations)
+    if status == UNBOUNDED:  # pragma: no cover - phase 1 is bounded below by 0
+        return LPResult(INFEASIBLE, None, None)
+    if -tableau[m, -1] > 1e-7:
+        return LPResult(INFEASIBLE, None, None)
+
+    # Drive any artificial variables still in the basis out of it.
+    for row, var in enumerate(basis):
+        if var < n:
+            continue
+        pivot_col = -1
+        for j in range(n):
+            if abs(tableau[row, j]) > _TOL:
+                pivot_col = j
+                break
+        if pivot_col >= 0:
+            _pivot(tableau, row, pivot_col)
+            basis[row] = pivot_col
+        # else: the row is all-zero over real variables (redundant
+        # constraint); the artificial stays basic at value 0 harmlessly.
+
+    # Phase 2: swap in the real objective, zero out artificial columns.
+    tableau[:, n : n + m] = 0.0
+    tableau[m, :] = 0.0
+    tableau[m, :n] = c
+    for row, var in enumerate(basis):
+        if var < n and abs(tableau[m, var]) > 0:
+            tableau[m, :] -= tableau[m, var] * tableau[row, :]
+
+    status = _simplex_iterate(tableau, basis, num_real=n, max_iterations=max_iterations)
+    if status == UNBOUNDED:
+        return LPResult(UNBOUNDED, None, None)
+
+    x = np.zeros(n)
+    for row, var in enumerate(basis):
+        if var < n:
+            x[var] = tableau[row, -1]
+    return LPResult(OPTIMAL, x, float(c @ x))
+
+
+def _simplex_iterate(
+    tableau: np.ndarray, basis: List[int], num_real: int, max_iterations: int
+) -> str:
+    """Run simplex pivots in place using Bland's rule.
+
+    ``num_real`` limits the columns eligible to enter the basis (phase 1
+    lets artificials pivot; phase 2 must not).
+    """
+    m = len(basis)
+    for _ in range(max_iterations):
+        # Bland: entering variable = smallest index with negative reduced cost.
+        entering = -1
+        for j in range(num_real):
+            if tableau[m, j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return OPTIMAL
+        # Ratio test with Bland tie-break on basis variable index.
+        best_ratio = np.inf
+        pivot_row = -1
+        for i in range(m):
+            coeff = tableau[i, entering]
+            if coeff > _TOL:
+                ratio = tableau[i, -1] / coeff
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (pivot_row < 0 or basis[i] < basis[pivot_row])
+                ):
+                    best_ratio = ratio
+                    pivot_row = i
+        if pivot_row < 0:
+            return UNBOUNDED
+        _pivot(tableau, pivot_row, entering)
+        basis[pivot_row] = entering
+    raise RuntimeError("simplex did not terminate within the iteration limit")
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    tableau[row, :] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > 0:
+            tableau[i, :] -= tableau[i, col] * tableau[row, :]
+
+
+def solve_lp(
+    c: Sequence[float],
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+) -> LPResult:
+    """Solve a general-form LP by reduction to standard form.
+
+    Mirrors :func:`scipy.optimize.linprog`'s calling convention so the two
+    engines are interchangeable inside branch-and-bound.  ``bounds`` default
+    to ``(0, None)`` per variable.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    if bounds is None:
+        bounds = [(0.0, None)] * n
+    if len(bounds) != n:
+        raise ValueError(f"expected {n} bounds, got {len(bounds)}")
+
+    rows_ub = 0 if A_ub is None else np.atleast_2d(A_ub).shape[0]
+    rows_eq = 0 if A_eq is None else np.atleast_2d(A_eq).shape[0]
+    A_ub_m = np.atleast_2d(np.asarray(A_ub, dtype=float)) if rows_ub else np.zeros((0, n))
+    b_ub_v = np.asarray(b_ub, dtype=float) if rows_ub else np.zeros(0)
+    A_eq_m = np.atleast_2d(np.asarray(A_eq, dtype=float)) if rows_eq else np.zeros((0, n))
+    b_eq_v = np.asarray(b_eq, dtype=float) if rows_eq else np.zeros(0)
+
+    # --- substitute variables so every standard-form variable is >= 0 ---
+    # Each original variable maps to (plus_col, minus_col, shift):
+    #   x = shift + x_plus - x_minus, with x_minus only for free variables.
+    col_plus: List[int] = []
+    col_minus: List[Optional[int]] = []
+    shift = np.zeros(n)
+    negate = np.zeros(n, dtype=bool)
+    extra_ub_rows: List[Tuple[int, float]] = []  # (var index, upper bound on shifted var)
+    next_col = 0
+    for i, (lb, ub) in enumerate(bounds):
+        if lb is not None and ub is not None and ub < lb:
+            return LPResult(INFEASIBLE, None, None)
+        if lb is not None:
+            shift[i] = lb
+            col_plus.append(next_col)
+            col_minus.append(None)
+            next_col += 1
+            if ub is not None:
+                extra_ub_rows.append((i, ub - lb))
+        elif ub is not None:
+            # Only an upper bound: substitute x = ub - x', x' >= 0.
+            shift[i] = ub
+            negate[i] = True
+            col_plus.append(next_col)
+            col_minus.append(None)
+            next_col += 1
+        else:
+            # Free variable: x = x+ - x-.
+            col_plus.append(next_col)
+            col_minus.append(next_col + 1)
+            next_col += 2
+    total_cols = next_col
+
+    def expand(matrix: np.ndarray) -> np.ndarray:
+        out = np.zeros((matrix.shape[0], total_cols))
+        for i in range(n):
+            column = matrix[:, i]
+            sign = -1.0 if negate[i] else 1.0
+            out[:, col_plus[i]] += sign * column
+            if col_minus[i] is not None:
+                out[:, col_minus[i]] -= column
+        return out
+
+    # Bounded-above shifted variables become explicit <= rows.
+    if extra_ub_rows:
+        bound_A = np.zeros((len(extra_ub_rows), n))
+        bound_b = np.zeros(len(extra_ub_rows))
+        for r, (i, cap) in enumerate(extra_ub_rows):
+            bound_A[r, i] = 1.0
+            bound_b[r] = cap + shift[i]  # original-space constraint x_i <= lb + cap
+        A_ub_m = np.vstack([A_ub_m, bound_A]) if A_ub_m.size else bound_A
+        b_ub_v = np.concatenate([b_ub_v, bound_b]) if b_ub_v.size else bound_b
+
+    # Shift the RHS by the contribution of the constant parts.
+    b_ub_shifted = b_ub_v - (A_ub_m @ shift if A_ub_m.size else 0.0)
+    b_eq_shifted = b_eq_v - (A_eq_m @ shift if A_eq_m.size else 0.0)
+
+    A_ub_std = expand(A_ub_m) if A_ub_m.size else np.zeros((0, total_cols))
+    A_eq_std = expand(A_eq_m) if A_eq_m.size else np.zeros((0, total_cols))
+
+    # Slack variables turn <= rows into equalities.
+    num_slacks = A_ub_std.shape[0]
+    A_full = np.zeros((num_slacks + A_eq_std.shape[0], total_cols + num_slacks))
+    b_full = np.zeros(A_full.shape[0])
+    if num_slacks:
+        A_full[:num_slacks, :total_cols] = A_ub_std
+        A_full[:num_slacks, total_cols:] = np.eye(num_slacks)
+        b_full[:num_slacks] = b_ub_shifted
+    if A_eq_std.shape[0]:
+        A_full[num_slacks:, :total_cols] = A_eq_std
+        b_full[num_slacks:] = b_eq_shifted
+
+    c_std = np.zeros(total_cols + num_slacks)
+    for i in range(n):
+        sign = -1.0 if negate[i] else 1.0
+        c_std[col_plus[i]] += sign * c[i]
+        if col_minus[i] is not None:
+            c_std[col_minus[i]] -= c[i]
+
+    if A_full.shape[0] == 0:
+        # Unconstrained: optimum at the bound implied by each cost sign.
+        x = shift.copy()
+        if np.any((c_std[:total_cols] < -_TOL)):
+            return LPResult(UNBOUNDED, None, None)
+        return LPResult(OPTIMAL, x, float(c @ x))
+
+    result = solve_standard_lp(c_std, A_full, b_full)
+    if not result.is_optimal:
+        return result
+
+    x = np.empty(n)
+    for i in range(n):
+        value = result.x[col_plus[i]]
+        if col_minus[i] is not None:
+            value -= result.x[col_minus[i]]
+        if negate[i]:
+            value = -value
+        x[i] = shift[i] + value
+    return LPResult(OPTIMAL, x, float(c @ x))

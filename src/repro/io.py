@@ -1,0 +1,195 @@
+"""Serialize placements and problems to/from JSON.
+
+A downstream user running the solvers on real deployments needs to save
+placements (ship them to devices, archive experiment artifacts, diff runs).
+The format is plain JSON; node labels are serialized through a reversible
+tagged encoding so the common label types (int, str, tuples of those)
+round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List
+
+from repro.errors import ProblemError
+from repro.graphs.graph import Graph
+from repro.core.placement import CachePlacement, ChunkPlacement, StageCost, edge_key
+from repro.core.problem import CachingProblem
+
+Node = Hashable
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Node-label encoding: JSON object keys must be strings, and tuples don't
+# exist in JSON — tag every label with its type so decoding is exact.
+# ----------------------------------------------------------------------
+def encode_node(node: Node) -> Any:
+    """Encode a node label into a JSON-safe tagged value."""
+    if isinstance(node, bool):  # bool is an int subtype; keep it distinct
+        return {"t": "bool", "v": node}
+    if isinstance(node, int):
+        return {"t": "int", "v": node}
+    if isinstance(node, float):
+        return {"t": "float", "v": node}
+    if isinstance(node, str):
+        return {"t": "str", "v": node}
+    if isinstance(node, tuple):
+        return {"t": "tuple", "v": [encode_node(item) for item in node]}
+    raise ProblemError(
+        f"cannot serialize node label of type {type(node).__name__}"
+    )
+
+
+def decode_node(payload: Any) -> Node:
+    """Invert :func:`encode_node`."""
+    if not isinstance(payload, dict) or "t" not in payload:
+        raise ProblemError(f"malformed node payload: {payload!r}")
+    tag, value = payload["t"], payload.get("v")
+    if tag == "bool":
+        return bool(value)
+    if tag == "int":
+        return int(value)
+    if tag == "float":
+        return float(value)
+    if tag == "str":
+        return str(value)
+    if tag == "tuple":
+        return tuple(decode_node(item) for item in value)
+    raise ProblemError(f"unknown node tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Graph / problem / placement codecs
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    return {
+        "nodes": [encode_node(n) for n in graph.nodes()],
+        "edges": [
+            [encode_node(u), encode_node(v), w] for u, v, w in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> Graph:
+    graph = Graph()
+    for node in payload["nodes"]:
+        graph.add_node(decode_node(node))
+    for u, v, w in payload["edges"]:
+        graph.add_edge(decode_node(u), decode_node(v), float(w))
+    return graph
+
+
+def problem_to_dict(problem: CachingProblem) -> Dict[str, Any]:
+    storage = problem.new_storage()
+    return {
+        "graph": graph_to_dict(problem.graph),
+        "producer": encode_node(problem.producer),
+        "num_chunks": problem.num_chunks,
+        "capacity": [
+            [encode_node(n), storage.capacity(n)] for n in storage.nodes()
+        ],
+        "fairness_weight": problem.fairness_weight,
+        "contention_weight": problem.contention_weight,
+        "dissemination_scale": problem.dissemination_scale,
+        "path_policy": problem.path_policy,
+    }
+
+
+def problem_from_dict(payload: Dict[str, Any]) -> CachingProblem:
+    capacity = {
+        decode_node(node): int(cap) for node, cap in payload["capacity"]
+    }
+    return CachingProblem(
+        graph=graph_from_dict(payload["graph"]),
+        producer=decode_node(payload["producer"]),
+        num_chunks=int(payload["num_chunks"]),
+        capacity=capacity,
+        fairness_weight=float(payload["fairness_weight"]),
+        contention_weight=float(payload["contention_weight"]),
+        dissemination_scale=float(payload["dissemination_scale"]),
+        path_policy=payload["path_policy"],
+    )
+
+
+def placement_to_dict(placement: CachePlacement) -> Dict[str, Any]:
+    """Serialize a placement (problem included) to JSON-safe primitives."""
+    chunks: List[Dict[str, Any]] = []
+    for chunk in placement.chunks:
+        chunks.append(
+            {
+                "chunk": chunk.chunk,
+                "caches": [encode_node(n) for n in sorted(chunk.caches, key=str)],
+                "assignment": [
+                    [encode_node(c), encode_node(s)]
+                    for c, s in chunk.assignment.items()
+                ],
+                "tree_edges": [
+                    [encode_node(u), encode_node(v)]
+                    for u, v in (tuple(key) for key in chunk.tree_edges)
+                ],
+                "stage_cost": {
+                    "fairness": chunk.stage_cost.fairness,
+                    "access": chunk.stage_cost.access,
+                    "dissemination": chunk.stage_cost.dissemination,
+                },
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "algorithm": placement.algorithm,
+        "problem": problem_to_dict(placement.problem),
+        "chunks": chunks,
+    }
+
+
+def placement_from_dict(payload: Dict[str, Any]) -> CachePlacement:
+    """Invert :func:`placement_to_dict`; validates the result."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ProblemError(
+            f"unsupported placement format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    problem = problem_from_dict(payload["problem"])
+    chunks: List[ChunkPlacement] = []
+    for entry in payload["chunks"]:
+        stage = entry["stage_cost"]
+        chunks.append(
+            ChunkPlacement(
+                chunk=int(entry["chunk"]),
+                caches=frozenset(decode_node(n) for n in entry["caches"]),
+                assignment={
+                    decode_node(c): decode_node(s)
+                    for c, s in entry["assignment"]
+                },
+                tree_edges=frozenset(
+                    edge_key(decode_node(u), decode_node(v))
+                    for u, v in entry["tree_edges"]
+                ),
+                stage_cost=StageCost(
+                    fairness=float(stage["fairness"]),
+                    access=float(stage["access"]),
+                    dissemination=float(stage["dissemination"]),
+                ),
+            )
+        )
+    placement = CachePlacement(
+        problem=problem, chunks=chunks, algorithm=payload.get("algorithm", "")
+    )
+    placement.validate()
+    return placement
+
+
+def save_placement(placement: CachePlacement, path: str) -> None:
+    """Write a placement (with its problem) to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(placement_to_dict(placement), handle, indent=1)
+
+
+def load_placement(path: str) -> CachePlacement:
+    """Read a placement back; raises on malformed/infeasible content."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return placement_from_dict(json.load(handle))

@@ -1,0 +1,29 @@
+"""Evaluation metrics: contention accounting and fairness measures."""
+
+from repro.metrics.contention import (
+    ContentionReport,
+    evaluate_contention,
+    total_contention_cost,
+)
+from repro.metrics.fairness import (
+    gini_coefficient,
+    jains_index,
+    load_concentration_curve,
+    percentile_fairness,
+    placement_gini,
+    placement_loads,
+    placement_percentile_fairness,
+)
+
+__all__ = [
+    "ContentionReport",
+    "evaluate_contention",
+    "gini_coefficient",
+    "jains_index",
+    "load_concentration_curve",
+    "percentile_fairness",
+    "placement_gini",
+    "placement_loads",
+    "placement_percentile_fairness",
+    "total_contention_cost",
+]

@@ -1,0 +1,123 @@
+"""Final-state contention accounting (the y-axis of Figs. 2–4, 8, 9).
+
+The figures report the **total Contention Cost**, "the summation of the
+cost from Accessing and Dissemination phases":
+
+* *Accessing*: every node fetches every chunk from its serving node along
+  the shortest hop path; the path is priced by Eq. 2 with the **final**
+  storage state ("after all the dissemination is done, we calculated the
+  contention by putting all the chunks to the original connected graph",
+  Sec. V-B) — so heavily loaded caches inflate every path through them.
+* *Dissemination*: each chunk's dissemination tree edges priced the same
+  way.
+
+This module evaluates any :class:`~repro.core.placement.CachePlacement`
+under that *uniform* final-state accounting, so algorithms are compared on
+identical terms regardless of what internal costs they optimized.  (The
+per-placement ``stage_cost`` fields instead record the costs at placement
+time, i.e. the iterative objective of Eq. 8 — both views are useful and
+tests pin down their relationship.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.costs import CostModel
+from repro.core.placement import CachePlacement
+from repro.core.problem import CachingProblem
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Final-state contention breakdown of one placement."""
+
+    access: float
+    dissemination: float
+    per_chunk_access: Dict[int, float]
+    per_chunk_dissemination: Dict[int, float]
+
+    @property
+    def total(self) -> float:
+        """Access + dissemination — the headline metric of Figs. 2-4, 8."""
+        return self.access + self.dissemination
+
+    def per_chunk_total(self) -> Dict[int, float]:
+        """Per-chunk access + dissemination (the bars of Fig. 9)."""
+        return {
+            chunk: self.per_chunk_access[chunk]
+            + self.per_chunk_dissemination[chunk]
+            for chunk in self.per_chunk_access
+        }
+
+
+def evaluate_contention(
+    placement: CachePlacement,
+    reassign: bool = True,
+) -> ContentionReport:
+    """Price a placement with final-state contention costs.
+
+    Parameters
+    ----------
+    reassign:
+        True (default): every client fetches from its *nearest* final copy
+        (Sec. V-A semantics).  False: keep the placement's recorded
+        assignment, pricing it at final state — useful to study how much
+        an algorithm's own assignment deviates from nearest-copy.
+    """
+    problem = placement.problem
+    storage = placement.final_storage()
+    costs = CostModel(problem.graph, storage, problem.path_policy)
+
+    per_chunk_access: Dict[int, float] = {}
+    per_chunk_diss: Dict[int, float] = {}
+    for chunk in placement.chunks:
+        caches = list(chunk.caches)
+        if reassign:
+            assignment = _nearest_assignment(problem, costs, caches)
+        else:
+            assignment = chunk.assignment
+        access = sum(
+            costs.contention_cost(server, client)
+            for client, server in assignment.items()
+        )
+        dissemination = sum(
+            costs.edge_cost(*tuple(key)) for key in chunk.tree_edges
+        )
+        per_chunk_access[chunk.chunk] = access
+        per_chunk_diss[chunk.chunk] = dissemination
+
+    return ContentionReport(
+        access=sum(per_chunk_access.values()),
+        dissemination=sum(per_chunk_diss.values()),
+        per_chunk_access=per_chunk_access,
+        per_chunk_dissemination=per_chunk_diss,
+    )
+
+
+def total_contention_cost(placement: CachePlacement) -> float:
+    """Shorthand: final-state access + dissemination cost."""
+    return evaluate_contention(placement).total
+
+
+def _nearest_assignment(
+    problem: CachingProblem, costs: CostModel, caches: List[Node]
+) -> Dict[Node, Node]:
+    rows = {
+        server: costs.all_contention_costs(server)
+        for server in [problem.producer] + caches
+    }
+    assignment: Dict[Node, Node] = {}
+    for client in problem.clients:
+        best = problem.producer
+        best_cost = rows[problem.producer][client]
+        for server in caches:
+            cost = rows[server][client]
+            if cost < best_cost:
+                best = server
+                best_cost = cost
+        assignment[client] = best
+    return assignment

@@ -1,0 +1,131 @@
+"""Fairness metrics of Sec. V-B: Gini coefficient and p-percentile fairness.
+
+* **Gini coefficient** — the paper's Eq. (Sec. V-B)::
+
+      G = Σ_i Σ_j |t_i - t_j| / (2 n Σ_j t_j)
+
+  over the per-node cached-chunk counts ``t_i`` (producer excluded, since
+  it never caches and is excluded from all cost computations).  0 = all
+  nodes carry equal load; →1 = one node carries everything.
+
+* **p-percentile fairness** — "the fraction of nodes needed to cache p% of
+  the total data.  Ideally, when all nodes have the same caching load,
+  p-percentile fairness is strictly p%.  The smaller it is, the more
+  uneven the load."  Computed by greedily counting the most-loaded nodes
+  (fractionally, so a half-consumed node counts as half a node — this is
+  how the paper's 4.28% for a 2-node Hopc set arises).
+
+* **Jain's fairness index** — a standard complement (not in the paper)
+  useful for cross-checking trends: 1 = perfectly even.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.placement import CachePlacement
+
+Node = Hashable
+
+
+def gini_coefficient(loads: Sequence[float]) -> float:
+    """Gini coefficient of a load vector (0 when empty or all-zero)."""
+    values = [float(v) for v in loads]
+    if not values:
+        return 0.0
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    values.sort()
+    n = len(values)
+    # Equivalent O(n log n) form of Σ_i Σ_j |t_i - t_j| / (2 n Σ t).
+    cumulative = 0.0
+    weighted = 0.0
+    for rank, value in enumerate(values, start=1):
+        weighted += rank * value
+        cumulative += value
+    return (2.0 * weighted - (n + 1) * cumulative) / (n * cumulative)
+
+
+def percentile_fairness(loads: Sequence[float], p: float) -> float:
+    """Fraction of nodes needed to hold ``p`` (0..1) of the total load.
+
+    Nodes are consumed most-loaded first, fractionally: if the threshold
+    falls inside a node, only the needed fraction of that node counts.
+    Returns 0 when there is no load.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    values = sorted((float(v) for v in loads), reverse=True)
+    total = sum(values)
+    if total <= 0 or not values:
+        return 0.0
+    target = p * total
+    consumed = 0.0
+    nodes_used = 0.0
+    for value in values:
+        if consumed >= target:
+            break
+        need = target - consumed
+        if value >= need and value > 0:
+            nodes_used += need / value
+            consumed = target
+        else:
+            nodes_used += 1.0
+            consumed += value
+    return nodes_used / len(values)
+
+
+def load_concentration_curve(loads: Sequence[float]) -> List[float]:
+    """Cumulative data fraction held by the top-k nodes, for k = 1..n.
+
+    This is the curve of Fig. 6 ("number of nodes needed to store a
+    certain ratio of all data"), most-loaded nodes first.
+    """
+    values = sorted((float(v) for v in loads), reverse=True)
+    total = sum(values)
+    if total <= 0:
+        return [0.0 for _ in values]
+    curve: List[float] = []
+    running = 0.0
+    for value in values:
+        running += value
+        curve.append(running / total)
+    return curve
+
+
+def jains_index(loads: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n Σx²)``; 1 when perfectly even."""
+    values = [float(v) for v in loads]
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def placement_loads(
+    placement: CachePlacement, include_producer: bool = False
+) -> List[int]:
+    """Per-node chunk counts ``t_i`` of a placement, producer excluded by
+    default (it never caches; Sec. V-A)."""
+    loads = placement.loads()
+    producer = placement.problem.producer
+    return [
+        count
+        for node, count in loads.items()
+        if include_producer or node != producer
+    ]
+
+
+def placement_gini(placement: CachePlacement) -> float:
+    """Gini coefficient of a placement's caching loads."""
+    return gini_coefficient(placement_loads(placement))
+
+
+def placement_percentile_fairness(placement: CachePlacement, p: float = 0.75) -> float:
+    """p-percentile fairness of a placement (default p = 75%, as in the
+    paper's headline 71.4% / 68.6% / 4.28% / 22.8% comparison)."""
+    return percentile_fairness(placement_loads(placement), p)

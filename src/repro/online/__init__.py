@@ -1,0 +1,42 @@
+"""Online fair caching: publish/expire event streams, replacement policies,
+and an incremental controller (the paper's Sec. VI future work)."""
+
+from repro.online.controller import (
+    OnlineFairCache,
+    OnlineTrace,
+    Snapshot,
+    solve_online,
+)
+from repro.online.events import (
+    EXPIRE,
+    PUBLISH,
+    OnlineEvent,
+    OnlineWorkload,
+    expire,
+    generate_workload,
+    publish,
+)
+from repro.online.replacement import (
+    MostReplicated,
+    NeverEvict,
+    OldestFirst,
+    ReplacementPolicy,
+)
+
+__all__ = [
+    "EXPIRE",
+    "MostReplicated",
+    "NeverEvict",
+    "OldestFirst",
+    "OnlineEvent",
+    "OnlineFairCache",
+    "OnlineTrace",
+    "OnlineWorkload",
+    "PUBLISH",
+    "ReplacementPolicy",
+    "Snapshot",
+    "expire",
+    "generate_workload",
+    "publish",
+    "solve_online",
+]

@@ -1,0 +1,99 @@
+"""Cache replacement policies for the online extension.
+
+When every node with the data's reachability is full, the online
+controller must evict something to keep accepting fresh chunks — the
+"cache replacement" the paper defers to future work (Sec. VI).  Policies
+are deterministic and pluggable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Protocol, Set
+
+from repro.core.problem import ProblemState
+
+Node = Hashable
+ChunkId = int
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses which cached chunk a node should give up."""
+
+    name: str
+
+    def choose_victim(
+        self,
+        state: ProblemState,
+        node: Node,
+        publish_order: Dict[ChunkId, int],
+        live_replicas: Dict[ChunkId, int],
+    ) -> Optional[ChunkId]:
+        """Pick a chunk cached at ``node`` to evict, or ``None`` to refuse.
+
+        ``publish_order`` maps chunk → its publish sequence number (lower
+        = older); ``live_replicas`` maps chunk → current network-wide copy
+        count.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class OldestFirst:
+    """Evict the longest-published chunk — it is the most likely outdated
+    (the paper's motivation for replacement is chunks becoming stale)."""
+
+    name = "oldest-first"
+
+    def choose_victim(
+        self,
+        state: ProblemState,
+        node: Node,
+        publish_order: Dict[ChunkId, int],
+        live_replicas: Dict[ChunkId, int],
+    ) -> Optional[ChunkId]:
+        cached = state.storage.chunks_at(node)
+        if not cached:
+            return None
+        return min(cached, key=lambda c: (publish_order.get(c, -1), c))
+
+
+class MostReplicated:
+    """Evict the chunk with the most copies elsewhere — losing one replica
+    of a well-replicated chunk hurts availability the least."""
+
+    name = "most-replicated"
+
+    def choose_victim(
+        self,
+        state: ProblemState,
+        node: Node,
+        publish_order: Dict[ChunkId, int],
+        live_replicas: Dict[ChunkId, int],
+    ) -> Optional[ChunkId]:
+        cached = state.storage.chunks_at(node)
+        if not cached:
+            return None
+        # prefer high replica count; tie-break toward older chunks
+        return max(
+            cached,
+            key=lambda c: (
+                live_replicas.get(c, 0),
+                -(publish_order.get(c, -1)),
+                -c,
+            ),
+        )
+
+
+class NeverEvict:
+    """Refuse all evictions: new chunks simply go uncached when the
+    network is full (the paper's original, replacement-free behavior)."""
+
+    name = "never"
+
+    def choose_victim(
+        self,
+        state: ProblemState,
+        node: Node,
+        publish_order: Dict[ChunkId, int],
+        live_replicas: Dict[ChunkId, int],
+    ) -> Optional[ChunkId]:
+        return None

@@ -1,0 +1,114 @@
+"""Plain-text visualizations of placements (Fig. 1-style load maps).
+
+The paper's Fig. 1 draws per-node circles sized by how much a node's
+cached-chunk count deviates from the optimum.  These helpers render the
+same information as monospace text so examples, the CLI and experiment
+logs can show placements without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Sequence
+
+from repro.core.placement import CachePlacement
+
+Node = Hashable
+
+
+def render_grid_loads(
+    side: int,
+    loads: Mapping[int, int],
+    producer: Optional[int] = None,
+    cell_width: int = 3,
+) -> str:
+    """Render per-node loads of a ``side × side`` grid (row-major labels).
+
+    The producer cell shows ``*``; empty nodes show ``.``.
+
+    >>> print(render_grid_loads(2, {0: 1, 1: 0, 2: 2, 3: 0}, producer=3))
+      1  .
+      2  *
+    """
+    if side < 1:
+        raise ValueError("side must be positive")
+    lines = []
+    for row in range(side):
+        cells = []
+        for col in range(side):
+            node = row * side + col
+            if node == producer:
+                text = "*"
+            else:
+                load = loads.get(node, 0)
+                text = str(load) if load else "."
+            cells.append(text.rjust(cell_width))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_grid_placement(
+    placement: CachePlacement, side: Optional[int] = None
+) -> str:
+    """Load map of a grid placement (side inferred from the node count)."""
+    problem = placement.problem
+    if side is None:
+        count = problem.graph.num_nodes
+        side = int(round(count ** 0.5))
+        if side * side != count:
+            raise ValueError(
+                f"{count} nodes is not a square grid; pass side explicitly"
+            )
+    return render_grid_loads(side, placement.loads(), problem.producer)
+
+
+def render_load_histogram(
+    loads: Sequence[int], width: int = 40, label: str = "chunks"
+) -> str:
+    """Horizontal histogram of load frequencies.
+
+    >>> print(render_load_histogram([0, 1, 1, 2], width=4))
+    0 chunks | 1 node(s)  ##
+    1 chunks | 2 node(s)  ####
+    2 chunks | 1 node(s)  ##
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    counts: Dict[int, int] = {}
+    for load in loads:
+        counts[load] = counts.get(load, 0) + 1
+    if not counts:
+        return "(no nodes)"
+    peak = max(counts.values())
+    lines = []
+    for load in sorted(counts):
+        bar = "#" * max(1, round(width * counts[load] / peak))
+        lines.append(f"{load} {label} | {counts[load]} node(s)  {bar}")
+    return "\n".join(lines)
+
+
+def render_delta_map(
+    side: int,
+    loads: Mapping[int, int],
+    reference: Mapping[int, int],
+    producer: Optional[int] = None,
+    cell_width: int = 4,
+) -> str:
+    """Fig. 1 proper: signed per-node difference from a reference placement.
+
+    Zero differences render as ``.``, the producer as ``*``.
+    """
+    if side < 1:
+        raise ValueError("side must be positive")
+    lines = []
+    for row in range(side):
+        cells = []
+        for col in range(side):
+            node = row * side + col
+            if node == producer:
+                text = "*"
+            else:
+                delta = loads.get(node, 0) - reference.get(node, 0)
+                text = f"{delta:+d}" if delta else "."
+            cells.append(text.rjust(cell_width))
+        lines.append("".join(cells))
+    return "\n".join(lines)

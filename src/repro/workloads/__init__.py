@@ -1,0 +1,21 @@
+"""Scenario and sweep generators matching the paper's evaluation setup."""
+
+from repro.workloads.scenarios import (
+    PAPER_NUM_CHUNKS,
+    PAPER_PRODUCER,
+    chunk_sweep,
+    grid_problem,
+    grid_sweep,
+    random_problem,
+    random_sweep,
+)
+
+__all__ = [
+    "PAPER_NUM_CHUNKS",
+    "PAPER_PRODUCER",
+    "chunk_sweep",
+    "grid_problem",
+    "grid_sweep",
+    "random_problem",
+    "random_sweep",
+]

@@ -1,0 +1,41 @@
+"""Shared fixtures: canonical graphs and caching problems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph, grid_graph, path_graph
+from repro.workloads import grid_problem
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """A 3-cycle with distinct weights."""
+    return Graph([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+
+
+@pytest.fixture
+def grid4() -> Graph:
+    return grid_graph(4)
+
+
+@pytest.fixture
+def grid6() -> Graph:
+    return grid_graph(6)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    return path_graph(5)
+
+
+@pytest.fixture
+def paper_problem():
+    """The paper's default scenario: 6x6 grid, producer 9, 5 chunks."""
+    return grid_problem(6)
+
+
+@pytest.fixture
+def small_problem():
+    """A quick 4x4 scenario for algorithm tests."""
+    return grid_problem(4, num_chunks=3)

@@ -1,0 +1,91 @@
+"""Hypothesis property tests: invariants every algorithm must satisfy on
+arbitrary connected networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CachingProblem, solve_approximation
+from repro.baselines import (
+    solve_contention,
+    solve_greedy_confl,
+    solve_hopcount,
+    solve_random,
+)
+from repro.distributed import solve_distributed
+from repro.graphs import erdos_renyi_connected
+from repro.metrics import placement_gini, placement_percentile_fairness
+
+SOLVERS = {
+    "appx": solve_approximation,
+    "dist": lambda p: solve_distributed(p).placement,
+    "greedy": solve_greedy_confl,
+    "hopc": solve_hopcount,
+    "cont": solve_contention,
+    "random": lambda p: solve_random(p, seed=0),
+}
+
+
+@st.composite
+def problems(draw):
+    num_nodes = draw(st.integers(min_value=4, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=500))
+    num_chunks = draw(st.integers(min_value=0, max_value=3))
+    capacity = draw(st.integers(min_value=1, max_value=3))
+    graph = erdos_renyi_connected(num_nodes, 0.35, seed=seed)
+    return CachingProblem(
+        graph=graph, producer=0, num_chunks=num_chunks, capacity=capacity
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS))
+@given(problem=problems())
+@settings(max_examples=12, deadline=None)
+def test_placement_invariants(name, problem):
+    placement = SOLVERS[name](problem)
+    # Feasibility: ILP constraints (4)-(7), checked structurally.
+    placement.validate()
+    loads = placement.loads()
+    # Capacity and producer invariants.
+    assert all(v <= problem.new_storage().capacity(n)
+               for n, v in loads.items() if n != problem.producer)
+    assert loads[problem.producer] == 0
+    # Cost invariants.
+    total = placement.stage_cost_total()
+    assert total.access >= 0
+    assert total.dissemination >= 0
+    assert total.fairness >= 0
+    assert placement.objective_value() >= 0
+    # Metric invariants.
+    assert 0.0 <= placement_gini(placement) <= 1.0
+    assert 0.0 <= placement_percentile_fairness(placement) <= 1.0
+
+
+@pytest.mark.parametrize("name", ["appx", "dist", "greedy"])
+@given(problem=problems())
+@settings(max_examples=8, deadline=None)
+def test_determinism(name, problem):
+    a = SOLVERS[name](problem)
+    b = SOLVERS[name](problem)
+    assert [c.caches for c in a.chunks] == [c.caches for c in b.chunks]
+    assert a.objective_value() == b.objective_value()
+
+
+@given(problem=problems())
+@settings(max_examples=10, deadline=None)
+def test_assignment_prefers_local_copy(problem):
+    """Nearest-copy semantics: a client that caches a chunk serves itself."""
+    placement = solve_approximation(problem)
+    for chunk in placement.chunks:
+        for client, server in chunk.assignment.items():
+            if client in chunk.caches:
+                assert server == client
+
+
+@given(problem=problems())
+@settings(max_examples=10, deadline=None)
+def test_stage_fairness_zero_on_first_chunk(problem):
+    """All caches are empty before chunk 0, so Eq. 1 charges nothing."""
+    placement = solve_approximation(problem)
+    if placement.chunks:
+        assert placement.chunks[0].stage_cost.fairness == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for Algorithm 1 (the approximation algorithm)."""
+
+import pytest
+
+from repro.core import (
+    ApproximationConfig,
+    DualAscentConfig,
+    solve_approximation,
+    solve_approximation_timed,
+)
+from repro.workloads import grid_problem
+
+
+class TestApproximation:
+    def test_placement_is_feasible(self, small_problem):
+        placement = solve_approximation(small_problem)
+        placement.validate()
+
+    def test_all_chunks_placed(self, small_problem):
+        placement = solve_approximation(small_problem)
+        assert len(placement.chunks) == small_problem.num_chunks
+        assert [c.chunk for c in placement.chunks] == list(small_problem.chunks)
+
+    def test_deterministic(self, small_problem):
+        a = solve_approximation(small_problem)
+        b = solve_approximation(small_problem)
+        assert [c.caches for c in a.chunks] == [c.caches for c in b.chunks]
+        assert a.objective_value() == b.objective_value()
+
+    def test_producer_never_caches(self, paper_problem):
+        placement = solve_approximation(paper_problem)
+        for chunk in placement.chunks:
+            assert paper_problem.producer not in chunk.caches
+
+    def test_fairness_spreads_chunks(self, paper_problem):
+        placement = solve_approximation(paper_problem)
+        loads = placement.loads()
+        used = [v for v in loads.values() if v > 0]
+        # fairness: many nodes share the load, none hoards
+        assert len(used) >= 15
+        assert max(used) <= 4
+
+    def test_capacity_respected(self):
+        problem = grid_problem(3, num_chunks=6, capacity=2)
+        placement = solve_approximation(problem)
+        placement.validate()  # validate() enforces capacity
+        assert max(placement.loads().values()) <= 2
+
+    def test_zero_chunks(self):
+        problem = grid_problem(3, num_chunks=0)
+        placement = solve_approximation(problem)
+        placement.validate()
+        assert placement.chunks == []
+
+    def test_stage_costs_populated(self, small_problem):
+        placement = solve_approximation(small_problem)
+        for chunk in placement.chunks:
+            assert chunk.stage_cost.access > 0
+            if chunk.caches:
+                assert chunk.stage_cost.dissemination > 0
+
+    def test_first_chunk_fairness_free(self, small_problem):
+        placement = solve_approximation(small_problem)
+        assert placement.chunks[0].stage_cost.fairness == 0.0
+
+    def test_later_chunks_pay_fairness(self, paper_problem):
+        placement = solve_approximation(paper_problem)
+        total_fairness = placement.stage_cost_total().fairness
+        assert total_fairness > 0.0
+
+    def test_reassign_toggle_changes_assignment_not_caches(self, small_problem):
+        on = solve_approximation(
+            small_problem, ApproximationConfig(reassign_clients=True)
+        )
+        off = solve_approximation(
+            small_problem, ApproximationConfig(reassign_clients=False)
+        )
+        assert [c.caches for c in on.chunks] == [c.caches for c in off.chunks]
+        on_cost = on.stage_cost_total().access
+        off_cost = off.stage_cost_total().access
+        assert on_cost <= off_cost + 1e-9
+
+    def test_span_threshold_controls_spread(self, paper_problem):
+        few = solve_approximation(
+            paper_problem,
+            ApproximationConfig(dual=DualAscentConfig(span_threshold=6)),
+        )
+        many = solve_approximation(
+            paper_problem,
+            ApproximationConfig(dual=DualAscentConfig(span_threshold=2)),
+        )
+        assert many.total_copies() > few.total_copies()
+
+    def test_timed_variant_matches(self, small_problem):
+        timed = solve_approximation_timed(small_problem)
+        plain = solve_approximation(small_problem)
+        assert timed.placement.objective_value() == plain.objective_value()
+        assert len(timed.per_chunk_seconds) == small_problem.num_chunks
+        assert timed.total_seconds >= 0
+
+    def test_algorithm_label(self, small_problem):
+        assert solve_approximation(small_problem).algorithm == "approximation"

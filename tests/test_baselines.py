@@ -1,0 +1,157 @@
+"""Unit tests for the Hopc / Cont baselines and their multi-item extension."""
+
+import pytest
+
+from repro.baselines import (
+    contention_cost_rows,
+    greedy_select,
+    hop_cost_rows,
+    solve_contention,
+    solve_hopcount,
+    solve_random,
+    solve_static_baseline,
+)
+from repro.workloads import grid_problem
+
+
+class TestGreedySelect:
+    @pytest.fixture
+    def setup(self, grid6):
+        producer = 9
+        clients = [n for n in grid6.nodes() if n != producer]
+        rows = hop_cost_rows(grid6, list(grid6.nodes()))
+        return grid6, producer, clients, rows
+
+    def test_selects_nothing_with_huge_threshold(self, setup):
+        g, p, clients, rows = setup
+        assert greedy_select(g, p, clients, clients, rows, rel_threshold=5.0) == []
+
+    def test_zero_threshold_selects_most(self, setup):
+        g, p, clients, rows = setup
+        sel = greedy_select(g, p, clients, clients, rows, rel_threshold=0.0)
+        assert len(sel) >= 5
+
+    def test_threshold_monotone(self, setup):
+        g, p, clients, rows = setup
+        sizes = [
+            len(greedy_select(g, p, clients, clients, rows, rel_threshold=t))
+            for t in (0.0, 0.1, 0.2)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_producer_never_selected(self, setup):
+        g, p, clients, rows = setup
+        sel = greedy_select(g, p, clients, clients, rows)
+        assert p not in sel
+
+    def test_requires_producer_row(self, setup):
+        g, p, clients, _ = setup
+        with pytest.raises(ValueError):
+            greedy_select(g, p, clients, clients, {}, rel_threshold=0.1)
+
+    def test_negative_threshold_rejected(self, setup):
+        g, p, clients, rows = setup
+        with pytest.raises(ValueError):
+            greedy_select(g, p, clients, clients, rows, rel_threshold=-1)
+
+    def test_calibrated_sizes_on_paper_grid(self, setup):
+        g, p, clients, rows = setup
+        hopc = greedy_select(g, p, clients, clients, rows, rel_threshold=0.17)
+        assert len(hopc) == 2  # "50% of data on one node" → 2-node set
+        cont_rows = contention_cost_rows(g, list(g.nodes()), p)
+        cont = greedy_select(
+            g, p, clients, clients, cont_rows, rel_threshold=0.06
+        )
+        assert len(cont) == 10  # "5 nodes hold 50%" → 10-node set
+
+
+class TestStaticBaselines:
+    def test_hopcount_feasible(self, paper_problem):
+        placement = solve_hopcount(paper_problem)
+        placement.validate()
+        assert placement.algorithm == "hopcount"
+
+    def test_contention_feasible(self, paper_problem):
+        placement = solve_contention(paper_problem)
+        placement.validate()
+        assert placement.algorithm == "contention"
+
+    def test_same_set_for_every_chunk(self, paper_problem):
+        """The paper's criticism: static baselines reuse one node set."""
+        for solver in (solve_hopcount, solve_contention):
+            placement = solver(paper_problem)
+            sets = {chunk.caches for chunk in placement.chunks}
+            assert len(sets) == 1
+
+    def test_hopc_concentrates_cont_spreads(self, paper_problem):
+        hopc = solve_hopcount(paper_problem)
+        cont = solve_contention(paper_problem)
+        hopc_nodes = sum(1 for v in hopc.loads().values() if v)
+        cont_nodes = sum(1 for v in cont.loads().values() if v)
+        assert hopc_nodes < cont_nodes
+
+    def test_unknown_metric_rejected(self, paper_problem):
+        with pytest.raises(ValueError):
+            solve_static_baseline(paper_problem, metric="psychic")
+
+
+class TestMultiItemExtension:
+    def test_overflow_moves_to_second_set(self):
+        """Chunks beyond capacity trigger the subgraph recursion."""
+        problem = grid_problem(4, num_chunks=8, capacity=5)
+        placement = solve_hopcount(problem)
+        placement.validate()
+        first_set = placement.chunks[0].caches
+        sixth_set = placement.chunks[5].caches
+        assert first_set == placement.chunks[4].caches
+        assert first_set != sixth_set
+        assert first_set.isdisjoint(sixth_set)
+
+    def test_first_set_filled_to_capacity(self):
+        problem = grid_problem(4, num_chunks=8, capacity=5)
+        placement = solve_contention(problem)
+        loads = placement.loads()
+        for node in placement.chunks[0].caches:
+            assert loads[node] == 5
+
+    def test_more_chunks_than_total_capacity(self):
+        problem = grid_problem(3, num_chunks=20, capacity=2)
+        placement = solve_hopcount(problem)
+        placement.validate()
+        # 8 non-producer nodes x 2 = 16 cached chunk generations at most;
+        # the rest must fall back to producer-only service.
+        assert len(placement.chunks) == 20
+        assert any(not c.caches for c in placement.chunks)
+
+    def test_capacity_one_many_rounds(self):
+        problem = grid_problem(3, num_chunks=4, capacity=1)
+        placement = solve_contention(problem)
+        placement.validate()
+        sets = [c.caches for c in placement.chunks]
+        for a_index in range(len(sets)):
+            for b_index in range(a_index + 1, len(sets)):
+                if sets[a_index] and sets[b_index]:
+                    assert sets[a_index].isdisjoint(sets[b_index])
+
+
+class TestRandomBaseline:
+    def test_feasible(self, small_problem):
+        placement = solve_random(small_problem, seed=1)
+        placement.validate()
+
+    def test_seed_determinism(self, small_problem):
+        a = solve_random(small_problem, seed=7)
+        b = solve_random(small_problem, seed=7)
+        assert [c.caches for c in a.chunks] == [c.caches for c in b.chunks]
+
+    def test_caches_per_chunk_respected(self, small_problem):
+        placement = solve_random(small_problem, caches_per_chunk=2, seed=3)
+        assert all(len(c.caches) <= 2 for c in placement.chunks)
+
+    def test_zero_caches(self, small_problem):
+        placement = solve_random(small_problem, caches_per_chunk=0, seed=3)
+        assert all(not c.caches for c in placement.chunks)
+
+    def test_negative_rejected(self, small_problem):
+        with pytest.raises(ValueError):
+            solve_random(small_problem, caches_per_chunk=-1)

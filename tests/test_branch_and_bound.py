@@ -1,0 +1,107 @@
+"""Unit tests for the branch-and-bound MILP solver and backend agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import MAXIMIZE, Model, branch_and_bound, lin_sum
+
+
+class TestBranchAndBound:
+    def test_pure_lp_no_branching(self):
+        res = branch_and_bound(
+            c=np.array([1.0]),
+            A_ub=None, b_ub=None, A_eq=None, b_eq=None,
+            bounds=[(0.0, None)], integrality=np.array([0]),
+        )
+        assert res.status == "optimal"
+        assert res.nodes_explored == 1
+
+    def test_rounds_integral(self):
+        # min x s.t. 3x >= 4, x integer → x = 2
+        res = branch_and_bound(
+            c=np.array([1.0]),
+            A_ub=np.array([[-3.0]]), b_ub=np.array([-4.0]),
+            A_eq=None, b_eq=None,
+            bounds=[(0.0, None)], integrality=np.array([1]),
+        )
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_infeasible(self):
+        res = branch_and_bound(
+            c=np.array([1.0]),
+            A_ub=np.array([[1.0], [-1.0]]), b_ub=np.array([1.0, -3.0]),
+            A_eq=None, b_eq=None,
+            bounds=[(0.0, None)], integrality=np.array([1]),
+        )
+        assert res.status == "infeasible"
+
+    def test_integer_infeasible_between_bounds(self):
+        # 0.4 <= x <= 0.6, x integer → infeasible
+        res = branch_and_bound(
+            c=np.array([1.0]),
+            A_ub=None, b_ub=None, A_eq=None, b_eq=None,
+            bounds=[(0.4, 0.6)], integrality=np.array([1]),
+        )
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        res = branch_and_bound(
+            c=np.array([-1.0]),
+            A_ub=None, b_ub=None, A_eq=None, b_eq=None,
+            bounds=[(0.0, None)], integrality=np.array([1]),
+        )
+        assert res.status == "unbounded"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            branch_and_bound(
+                c=np.array([1.0]), A_ub=None, b_ub=None, A_eq=None,
+                b_eq=None, bounds=[(0.0, 1.0)],
+                integrality=np.array([1]), lp_engine="cplex",
+            )
+
+    def test_limit_without_incumbent_raises(self):
+        # Force max_nodes=0-ish exploration: a model needing branching.
+        with pytest.raises(RuntimeError):
+            branch_and_bound(
+                c=np.array([1.0, 1.0]),
+                A_ub=np.array([[-3.0, -2.0]]), b_ub=np.array([-4.0]),
+                A_eq=None, b_eq=None,
+                bounds=[(0.0, None), (0.0, None)],
+                integrality=np.array([1, 1]),
+                max_nodes=1,
+            )
+
+
+def _random_model(seed: int):
+    """A random feasible 0/1 knapsack-style model."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 8))
+    m = Model(f"rand{seed}", sense=MAXIMIZE)
+    x = [m.binary_var(f"x{i}") for i in range(n)]
+    weights = rng.integers(1, 10, n)
+    values = rng.integers(1, 20, n)
+    cap = int(weights.sum() // 2) + 1
+    m.add_constraint(lin_sum(int(w) * xi for w, xi in zip(weights, x)) <= cap)
+    m.set_objective(lin_sum(int(v) * xi for v, xi in zip(values, x)))
+    return m
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_backends_agree_on_random_knapsacks(seed):
+    m = _random_model(seed)
+    obj_bnb = m.solve(backend="bnb").objective
+    obj_highs = m.solve(backend="highs").objective
+    assert obj_bnb == pytest.approx(obj_highs, abs=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=10, deadline=None)
+def test_simplex_engine_agrees(seed):
+    m = _random_model(seed)
+    obj_scipy = m.solve(backend="bnb", lp_engine="scipy").objective
+    obj_simplex = m.solve(backend="bnb", lp_engine="simplex").objective
+    assert obj_scipy == pytest.approx(obj_simplex, abs=1e-6)

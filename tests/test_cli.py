@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "fig6", "--fast"])
+        assert args.command == "experiment"
+        assert args.id == "fig6"
+        assert args.fast
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_solve_requires_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve"])
+
+    def test_solve_grid(self):
+        args = build_parser().parse_args(
+            ["solve", "--grid", "4", "--algorithm", "appx"]
+        )
+        assert args.grid == 4
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "appx" in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+
+    def test_solve_grid_appx(self, capsys):
+        assert main(["solve", "--grid", "4", "--chunks", "2",
+                     "--algorithm", "appx"]) == 0
+        out = capsys.readouterr().out
+        assert "total contention cost" in out
+        assert "chunk 0" in out
+
+    def test_solve_random_hopc(self, capsys):
+        assert main(["solve", "--random", "15", "--seed", "3",
+                     "--chunks", "1", "--algorithm", "hopc"]) == 0
+        assert "Hopc" in capsys.readouterr().out
+
+    def test_experiment_fast(self, capsys):
+        assert main(["experiment", "fig6", "--fast"]) == 0
+        assert "p75-fairness" in capsys.readouterr().out
+
+
+class TestShowMap:
+    def test_grid_map_rendered(self, capsys):
+        assert main(["solve", "--grid", "3", "--chunks", "1",
+                     "--show-map"]) == 0
+        out = capsys.readouterr().out
+        assert "per-node load map" in out
+        assert "*" in out
+
+    def test_map_requires_grid(self, capsys):
+        assert main(["solve", "--random", "12", "--chunks", "1",
+                     "--show-map"]) == 0
+        assert "--show-map requires" in capsys.readouterr().out
+
+    def test_greedy_alias(self, capsys):
+        assert main(["solve", "--grid", "4", "--chunks", "1",
+                     "--algorithm", "greedy"]) == 0
+        assert "Greedy" in capsys.readouterr().out
+
+
+def test_experiment_all_accepted():
+    args = build_parser().parse_args(["experiment", "all", "--fast"])
+    assert args.id == "all"

@@ -1,0 +1,59 @@
+"""Unit tests for connected-component helpers."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+
+
+class TestComponents:
+    def test_single_component(self, grid4):
+        comps = connected_components(grid4)
+        assert len(comps) == 1
+        assert comps[0] == set(grid4.nodes())
+
+    def test_two_components_sorted_by_size(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert comps[0] == {0, 1, 2}
+        assert comps[1] == {10, 11}
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph()
+        g.add_nodes([1, 2, 3])
+        assert len(connected_components(g)) == 3
+
+    def test_empty_graph_has_no_components(self):
+        assert connected_components(Graph()) == []
+
+
+class TestIsConnected:
+    def test_connected_grid(self, grid4):
+        assert is_connected(grid4)
+
+    def test_disconnected(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_single_node_connected(self):
+        g = Graph()
+        g.add_node(0)
+        assert is_connected(g)
+
+
+class TestLargest:
+    def test_largest_component(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        assert largest_connected_component(g) == {0, 1, 2}
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            largest_connected_component(Graph())

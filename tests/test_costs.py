@@ -1,0 +1,159 @@
+"""Unit tests for the fairness and contention cost model (Eqs. 1-2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    PATH_POLICY_CONTENTION,
+    StorageState,
+    fairness_degree_cost,
+    node_contention_cost,
+    path_contention_cost,
+)
+from repro.errors import ProblemError
+from repro.graphs import Graph, grid_graph, path_graph
+
+
+class TestFairnessDegreeCost:
+    def test_empty_storage_is_free(self):
+        assert fairness_degree_cost(0, 5) == 0.0
+
+    def test_paper_sequence_capacity_5(self):
+        # S = 0..4 of 5: 0, 1/4, 2/3, 3/2, 4
+        values = [fairness_degree_cost(s, 5) for s in range(5)]
+        assert values == pytest.approx([0, 0.25, 2 / 3, 1.5, 4.0])
+
+    def test_full_storage_infinite(self):
+        assert fairness_degree_cost(5, 5) == math.inf
+
+    def test_zero_capacity_infinite(self):
+        assert fairness_degree_cost(0, 0) == math.inf
+
+    def test_monotone_in_usage(self):
+        costs = [fairness_degree_cost(s, 10) for s in range(10)]
+        assert costs == sorted(costs)
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ProblemError):
+            fairness_degree_cost(6, 5)
+        with pytest.raises(ProblemError):
+            fairness_degree_cost(-1, 5)
+
+
+class TestNodeContention:
+    def test_cost_is_degree(self, grid4):
+        assert node_contention_cost(grid4, 0) == 2
+        assert node_contention_cost(grid4, 5) == 4
+
+    def test_path_cost_empty_storage(self, grid4):
+        storage = StorageState(grid4.nodes(), 5)
+        # path 0-1-2: degrees 2+3+3 = 8
+        assert path_contention_cost(grid4, [0, 1, 2], storage) == 8.0
+
+    def test_path_cost_with_storage(self, grid4):
+        storage = StorageState(grid4.nodes(), 5)
+        storage.add(1, 0)
+        storage.add(1, 1)
+        # node 1 contributes deg * (1 + 2) = 9
+        assert path_contention_cost(grid4, [0, 1, 2], storage) == 2 + 9 + 3
+
+    def test_trivial_paths_free(self, grid4):
+        storage = StorageState(grid4.nodes(), 5)
+        assert path_contention_cost(grid4, [3], storage) == 0.0
+        assert path_contention_cost(grid4, [], storage) == 0.0
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self, grid4):
+        storage = StorageState(grid4.nodes(), 5, producer=9)
+        return CostModel(grid4, storage)
+
+    def test_self_cost_zero(self, model):
+        assert model.contention_cost(3, 3) == 0.0
+
+    def test_adjacent_cost_is_degree_sum(self, model):
+        assert model.contention_cost(0, 1) == 5.0  # deg 2 + deg 3
+
+    def test_cost_includes_endpoints(self, model):
+        # 0-1-2 on the grid: 2+3+3
+        assert model.contention_cost(0, 2) == 8.0
+
+    def test_producer_fairness_infinite(self, model):
+        assert model.fairness_cost(9) == math.inf
+
+    def test_fairness_tracks_storage(self, model):
+        assert model.fairness_cost(1) == 0.0
+        model.storage.add(1, 0)
+        model.invalidate()
+        assert model.fairness_cost(1) == 0.25
+
+    def test_storage_inflates_contention(self, model):
+        before = model.contention_cost(0, 2)
+        model.storage.add(1, 0)
+        model.invalidate()
+        after = model.contention_cost(0, 2)
+        assert after == before + 3.0  # node 1 degree 3, +1 chunk
+
+    def test_invalidate_required_for_fresh_costs(self, model):
+        base = model.contention_cost(0, 2)
+        model.storage.add(1, 0)
+        # without invalidate the cache serves the stale value
+        assert model.contention_cost(0, 2) == base
+
+    def test_all_costs_match_single(self, model):
+        rows = model.all_contention_costs(0)
+        for target in model.graph.nodes():
+            assert rows[target] == model.contention_cost(0, target)
+
+    def test_cost_matrix_complete(self, model):
+        matrix = model.cost_matrix()
+        nodes = list(model.graph.nodes())
+        assert set(matrix) == set(nodes)
+        assert all(set(row) == set(nodes) for row in matrix.values())
+
+    def test_edge_cost(self, model):
+        assert model.edge_cost(0, 1) == 5.0
+        with pytest.raises(ProblemError):
+            model.edge_cost(0, 5)  # not adjacent
+
+    def test_contention_weighted_graph(self, model):
+        weighted = model.contention_weighted_graph()
+        assert weighted.num_edges == model.graph.num_edges
+        assert weighted.weight(0, 1) == 5.0
+
+    def test_path_returns_hop_path(self, model):
+        path = model.path(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        assert len(path) == 7
+
+    def test_bad_policy_rejected(self, grid4):
+        storage = StorageState(grid4.nodes(), 5)
+        with pytest.raises(ProblemError):
+            CostModel(grid4, storage, path_policy="teleport")
+
+
+class TestContentionPathPolicy:
+    def test_contention_policy_can_beat_hops(self):
+        # 0 - hub - 3 (2 hops through degree-4 hub) vs long cheap path.
+        g = Graph()
+        g.add_edge(0, "hub")
+        g.add_edge("hub", 3)
+        g.add_edge("hub", "x1")
+        g.add_edge("hub", "x2")
+        for a, b in [(0, "a"), ("a", "b"), ("b", 3)]:
+            g.add_edge(a, b)
+        storage = StorageState(g.nodes(), 5)
+        hops_model = CostModel(g, storage)
+        cont_model = CostModel(g, storage, PATH_POLICY_CONTENTION)
+        assert cont_model.contention_cost(0, 3) <= hops_model.contention_cost(0, 3)
+
+    def test_policies_agree_on_path_graph(self):
+        g = path_graph(5)
+        storage = StorageState(g.nodes(), 5)
+        a = CostModel(g, storage)
+        b = CostModel(g, storage, PATH_POLICY_CONTENTION)
+        for t in g.nodes():
+            assert a.contention_cost(0, t) == b.contention_cost(0, t)

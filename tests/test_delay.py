@@ -1,0 +1,97 @@
+"""Unit tests for the 802.11 DCF delay model."""
+
+import pytest
+
+from repro.core import StorageState
+from repro.delay import (
+    DcfParameters,
+    contention_cost_to_delay,
+    hop_delay,
+    linearized_hop_delay,
+    path_delay,
+)
+from repro.graphs import grid_graph
+
+
+class TestParameters:
+    def test_defaults_sane(self):
+        params = DcfParameters()
+        assert params.difs > 0
+        assert params.chunk_transmission > params.slot_time
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DcfParameters(difs=-1.0)
+
+
+class TestHopDelay:
+    def test_idle_hop_is_difs(self):
+        params = DcfParameters()
+        assert hop_delay(0, 0, params) == pytest.approx(params.difs)
+
+    def test_components_add_up(self):
+        params = DcfParameters(difs=1.0, slot_time=2.0,
+                               chunk_transmission=3.0, collision_duration=4.0)
+        # DIFS + m*c + w*Td + m^2*Tc = 1 + 2*2 + 5*3 + 4*4
+        assert hop_delay(5, 2, params) == pytest.approx(1 + 4 + 15 + 16)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            hop_delay(-1, 0)
+        with pytest.raises(ValueError):
+            hop_delay(0, -1)
+
+    def test_monotone_in_contention(self):
+        assert hop_delay(10, 2) > hop_delay(5, 2)
+
+
+class TestLinearized:
+    def test_zero_cost(self):
+        params = DcfParameters()
+        assert linearized_hop_delay(0.0, params) == pytest.approx(params.difs)
+
+    def test_linear_in_cost(self):
+        params = DcfParameters()
+        d1 = linearized_hop_delay(1.0, params)
+        d2 = linearized_hop_delay(2.0, params)
+        assert d2 - d1 == pytest.approx(params.chunk_transmission)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            linearized_hop_delay(-1.0)
+
+    def test_aggregate_translation(self):
+        params = DcfParameters()
+        total = contention_cost_to_delay(10.0, 3, params)
+        assert total == pytest.approx(
+            3 * params.difs + 10.0 * params.chunk_transmission
+        )
+
+    def test_aggregate_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            contention_cost_to_delay(1.0, -1)
+
+
+class TestPathDelay:
+    def test_trivial_path_free(self):
+        g = grid_graph(3)
+        storage = StorageState(g.nodes(), 5)
+        assert path_delay(g, [4], storage) == 0.0
+
+    def test_full_model_on_path(self):
+        g = grid_graph(3)
+        storage = StorageState(g.nodes(), 5)
+        params = DcfParameters()
+        delay = path_delay(g, [0, 1, 2], storage, params)
+        manual = sum(
+            hop_delay(g.degree(k) * 1, 0, params) for k in (0, 1, 2)
+        )
+        assert delay == pytest.approx(manual)
+
+    def test_cached_chunks_increase_delay(self):
+        g = grid_graph(3)
+        storage = StorageState(g.nodes(), 5)
+        base = path_delay(g, [0, 1, 2], storage)
+        storage.add(1, 0)
+        loaded = path_delay(g, [0, 1, 2], storage)
+        assert loaded > base

@@ -1,0 +1,194 @@
+"""Unit tests for the distributed algorithm (Algorithm 2)."""
+
+import pytest
+
+from repro.distributed import (
+    ALL_TYPES,
+    DistributedConfig,
+    MessageStats,
+    solve_distributed,
+)
+from repro.errors import SimulationError
+from repro.metrics import evaluate_contention
+from repro.workloads import grid_problem
+
+
+class TestMessageStats:
+    def test_record(self):
+        stats = MessageStats()
+        stats.record("NPI", 3)
+        assert stats.messages["NPI"] == 1
+        assert stats.transmissions["NPI"] == 3
+
+    def test_zero_hops_count_one_transmission(self):
+        stats = MessageStats()
+        stats.record("CC", 0)
+        assert stats.transmissions["CC"] == 1
+
+    def test_totals(self):
+        stats = MessageStats()
+        stats.record("TIGHT", 1)
+        stats.record("SPAN", 2)
+        assert stats.total_messages() == 2
+        assert stats.total_transmissions() == 3
+
+    def test_merge(self):
+        a, b = MessageStats(), MessageStats()
+        a.record("NPI", 1)
+        b.record("NPI", 2)
+        a.merge(b)
+        assert a.messages["NPI"] == 2
+        assert a.transmissions["NPI"] == 3
+
+    def test_all_types_present(self):
+        stats = MessageStats()
+        assert set(stats.messages) == set(ALL_TYPES)
+
+
+class TestDistributedAlgorithm:
+    def test_feasible_placement(self, small_problem):
+        outcome = solve_distributed(small_problem)
+        outcome.placement.validate()
+        assert outcome.placement.algorithm == "distributed"
+
+    def test_deterministic(self, small_problem):
+        a = solve_distributed(small_problem)
+        b = solve_distributed(small_problem)
+        assert [c.caches for c in a.placement.chunks] == [
+            c.caches for c in b.placement.chunks
+        ]
+        assert a.stats.messages == b.stats.messages
+
+    def test_every_chunk_recorded(self, small_problem):
+        outcome = solve_distributed(small_problem)
+        assert len(outcome.placement.chunks) == small_problem.num_chunks
+        assert len(outcome.ticks_per_chunk) == small_problem.num_chunks
+
+    def test_message_types_used(self, paper_problem):
+        outcome = solve_distributed(paper_problem)
+        stats = outcome.stats
+        assert stats.messages["NPI"] > 0
+        assert stats.messages["CC"] > 0
+        assert stats.messages["TIGHT"] > 0
+        assert stats.messages["SPAN"] > 0
+
+    def test_npi_count_is_chunks_times_clients(self, paper_problem):
+        outcome = solve_distributed(paper_problem)
+        expected = paper_problem.num_chunks * len(paper_problem.clients)
+        assert outcome.stats.messages["NPI"] == expected
+
+    def test_hop_limit_must_be_positive(self, small_problem):
+        with pytest.raises(SimulationError):
+            solve_distributed(small_problem, DistributedConfig(hop_limit=0))
+
+    def test_bad_span_policy_rejected(self, small_problem):
+        with pytest.raises(SimulationError):
+            solve_distributed(
+                small_problem, DistributedConfig(span_policy="everything")
+            )
+
+    def test_k1_degrades_with_high_threshold(self):
+        problem = grid_problem(6)
+        config1 = DistributedConfig(hop_limit=1, span_threshold=4)
+        config2 = DistributedConfig(hop_limit=2, span_threshold=4)
+        cost1 = evaluate_contention(
+            solve_distributed(problem, config1).placement
+        ).access
+        cost2 = evaluate_contention(
+            solve_distributed(problem, config2).placement
+        ).access
+        caches1 = solve_distributed(problem, config1).placement.total_copies()
+        caches2 = solve_distributed(problem, config2).placement.total_copies()
+        assert caches1 < caches2  # k=1: "very few caching nodes"
+        assert cost1 > cost2     # and high accessing cost (Fig. 3)
+
+    def test_storage_feeds_forward(self, paper_problem):
+        outcome = solve_distributed(paper_problem)
+        sets = [c.caches for c in outcome.placement.chunks]
+        # fairness: chunk sets are not all identical (unlike baselines)
+        assert len(set(sets)) > 1
+
+    def test_capacity_respected(self):
+        problem = grid_problem(3, num_chunks=8, capacity=2)
+        outcome = solve_distributed(problem)
+        outcome.placement.validate()
+        assert max(outcome.placement.loads().values()) <= 2
+
+    def test_unserialized_promotions_overopen(self, paper_problem):
+        serial = solve_distributed(
+            paper_problem, DistributedConfig(serialize_promotions=True)
+        )
+        racy = solve_distributed(
+            paper_problem, DistributedConfig(serialize_promotions=False)
+        )
+        assert racy.placement.total_copies() >= serial.placement.total_copies()
+
+    def test_gamma_zero_start_underopens(self, paper_problem):
+        aligned = solve_distributed(
+            paper_problem, DistributedConfig(gamma_from_alpha=True)
+        )
+        literal = solve_distributed(
+            paper_problem, DistributedConfig(gamma_from_alpha=False)
+        )
+        assert (
+            literal.placement.total_copies()
+            <= aligned.placement.total_copies()
+        )
+
+    def test_producer_only_fallback_terminates(self):
+        # capacity 0 everywhere: no facility can ever open, every client
+        # must freeze to the producer.
+        problem = grid_problem(3, num_chunks=2, capacity=0)
+        outcome = solve_distributed(problem)
+        outcome.placement.validate()
+        for chunk in outcome.placement.chunks:
+            assert not chunk.caches
+
+
+class TestLossInjection:
+    def test_protocol_survives_loss(self):
+        problem = grid_problem(4, num_chunks=3)
+        outcome = solve_distributed(
+            problem, DistributedConfig(loss_rate=0.3, loss_seed=1)
+        )
+        outcome.placement.validate()  # everyone still served
+
+    def test_loss_is_deterministic(self):
+        problem = grid_problem(4, num_chunks=2)
+        config = DistributedConfig(loss_rate=0.2, loss_seed=7)
+        a = solve_distributed(problem, config)
+        b = solve_distributed(problem, config)
+        assert [c.caches for c in a.placement.chunks] == [
+            c.caches for c in b.placement.chunks
+        ]
+
+    def test_loss_degrades_not_breaks(self):
+        problem = grid_problem(6)
+        clean = solve_distributed(problem)
+        lossy = solve_distributed(
+            problem, DistributedConfig(loss_rate=0.5, loss_seed=3)
+        )
+        lossy.placement.validate()
+        # fewer control messages get through, so fewer caches open
+        assert (
+            lossy.placement.total_copies() <= clean.placement.total_copies()
+        )
+
+    def test_invalid_loss_rate(self):
+        problem = grid_problem(3, num_chunks=1)
+        with pytest.raises(SimulationError):
+            solve_distributed(problem, DistributedConfig(loss_rate=1.0))
+
+    def test_extreme_loss_falls_back_to_producer(self):
+        problem = grid_problem(4, num_chunks=2)
+        outcome = solve_distributed(
+            problem, DistributedConfig(loss_rate=0.99, loss_seed=5)
+        )
+        outcome.placement.validate()
+        # almost no control traffic lands: placements are producer-heavy
+        for chunk in outcome.placement.chunks:
+            producer_served = sum(
+                1 for s in chunk.assignment.values()
+                if s == problem.producer
+            )
+            assert producer_served >= len(problem.clients) // 2

@@ -1,0 +1,73 @@
+"""Unit tests for topology statistics."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import Graph, grid_graph, path_graph, star_graph
+from repro.graphs.stats import (
+    average_degree,
+    center,
+    degree_histogram,
+    diameter,
+    eccentricities,
+    radius,
+)
+
+
+class TestEccentricity:
+    def test_path(self):
+        ecc = eccentricities(path_graph(5))
+        assert ecc[0] == 4
+        assert ecc[2] == 2
+
+    def test_disconnected_raises(self):
+        g = Graph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            eccentricities(g)
+
+    def test_empty(self):
+        assert eccentricities(Graph()) == {}
+
+
+class TestDiameterRadius:
+    def test_grid(self):
+        g = grid_graph(4)
+        assert diameter(g) == 6
+        # even-sided grids have no single center; the four inner nodes
+        # each reach a far corner in 4 hops
+        assert radius(g) == 4
+        assert set(center(g)) == {5, 6, 9, 10}
+
+    def test_star(self):
+        g = star_graph(5)
+        assert diameter(g) == 2
+        assert radius(g) == 1
+        assert center(g) == (0,)
+
+    def test_path_center(self):
+        assert center(path_graph(5)) == (2,)
+
+    def test_empty(self):
+        assert diameter(Graph()) == 0
+        assert radius(Graph()) == 0
+        assert center(Graph()) == ()
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert diameter(g) == 0
+
+
+class TestDegreeStats:
+    def test_average_degree_grid(self):
+        g = grid_graph(4)
+        assert average_degree(g) == pytest.approx(2 * 24 / 16)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_histogram(self):
+        g = grid_graph(3)
+        hist = degree_histogram(g)
+        assert hist == {2: 4, 3: 4, 4: 1}
+        assert sum(hist.values()) == 9

@@ -1,0 +1,168 @@
+"""Unit tests for the ILP expression algebra."""
+
+import pytest
+
+from repro.ilp import Constraint, LinExpr, Model, lin_sum
+from repro.ilp.expression import EQUAL, GREATER_EQUAL, LESS_EQUAL
+
+
+@pytest.fixture
+def model():
+    return Model("expr-tests")
+
+
+@pytest.fixture
+def xy(model):
+    return model.continuous_var("x"), model.continuous_var("y")
+
+
+class TestVariableAlgebra:
+    def test_add_variables(self, xy):
+        x, y = xy
+        expr = x + y
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == 1.0
+
+    def test_add_constant(self, xy):
+        x, _ = xy
+        expr = x + 5
+        assert expr.constant == 5.0
+
+    def test_radd(self, xy):
+        x, _ = xy
+        expr = 5 + x
+        assert expr.constant == 5.0
+        assert expr.terms[x] == 1.0
+
+    def test_subtract(self, xy):
+        x, y = xy
+        expr = x - y
+        assert expr.terms[y] == -1.0
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.terms[x] == -1.0
+
+    def test_scalar_multiply(self, xy):
+        x, _ = xy
+        expr = 3 * x
+        assert expr.terms[x] == 3.0
+        assert (x * 3).terms[x] == 3.0
+
+    def test_negation(self, xy):
+        x, _ = xy
+        assert (-x).terms[x] == -1.0
+
+    def test_combined_expression(self, xy):
+        x, y = xy
+        expr = 2 * x - 3 * y + 7
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == -3.0
+        assert expr.constant == 7.0
+
+    def test_coefficients_accumulate(self, xy):
+        x, _ = xy
+        expr = x + x + 2 * x
+        assert expr.terms[x] == 4.0
+
+
+class TestLinExpr:
+    def test_value_evaluation(self, xy):
+        x, y = xy
+        expr = 2 * x + y + 1
+        assert expr.value({x: 3, y: 4}) == 11.0
+
+    def test_value_missing_vars_zero(self, xy):
+        x, y = xy
+        assert (x + y).value({x: 5}) == 5.0
+
+    def test_copy_independent(self, xy):
+        x, _ = xy
+        a = x + 1
+        b = a.copy()
+        b.constant = 99
+        assert a.constant == 1.0
+
+    def test_expr_times_expr_not_allowed(self, xy):
+        x, y = xy
+        with pytest.raises(TypeError):
+            _ = (x + 1) * (y + 1)
+
+    def test_from_terms(self, xy):
+        x, y = xy
+        expr = LinExpr.from_terms([(2, x), (3, y), (4, x)])
+        assert expr.terms[x] == 6.0
+        assert expr.terms[y] == 3.0
+
+
+class TestLinSum:
+    def test_mixed_items(self, xy):
+        x, y = xy
+        expr = lin_sum([x, 2 * y, 5])
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == 2.0
+        assert expr.constant == 5.0
+
+    def test_empty(self):
+        expr = lin_sum([])
+        assert expr.terms == {}
+        assert expr.constant == 0.0
+
+    def test_generator_input(self, model):
+        vars_ = [model.binary_var(f"b{i}") for i in range(10)]
+        expr = lin_sum(v for v in vars_)
+        assert len(expr.terms) == 10
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            lin_sum(["nope"])
+
+
+class TestConstraints:
+    def test_le_sense(self, xy):
+        x, y = xy
+        c = x + y <= 3
+        assert isinstance(c, Constraint)
+        assert c.sense == LESS_EQUAL
+        assert c.rhs == 3.0
+
+    def test_ge_sense(self, xy):
+        x, _ = xy
+        c = x >= 2
+        assert c.sense == GREATER_EQUAL
+        assert c.rhs == 2.0
+
+    def test_eq_sense(self, xy):
+        x, y = xy
+        c = x + y == 1
+        assert c.sense == EQUAL
+        assert c.rhs == 1.0
+
+    def test_rhs_expression_folded(self, xy):
+        x, y = xy
+        c = x <= y + 2
+        # normalized: x - y - 2 <= 0
+        assert c.expr.terms[y] == -1.0
+        assert c.rhs == 2.0
+
+    def test_violation_satisfied(self, xy):
+        x, y = xy
+        c = x + y <= 3
+        assert c.violation({x: 1, y: 1}) == 0.0
+
+    def test_violation_amount(self, xy):
+        x, y = xy
+        c = x + y <= 3
+        assert c.violation({x: 3, y: 2}) == 2.0
+
+    def test_violation_equality(self, xy):
+        x, _ = xy
+        c = x == 2
+        assert c.violation({x: 5}) == 3.0
+
+    def test_bad_sense_rejected(self, xy):
+        x, _ = xy
+        with pytest.raises(ValueError):
+            Constraint(x + 0.0, "!=")

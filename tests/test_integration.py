@@ -1,0 +1,150 @@
+"""Cross-feature integration tests: the pieces working together."""
+
+import pytest
+
+from repro.core import (
+    ApproximationConfig,
+    CachingProblem,
+    DualAscentConfig,
+    solve_approximation,
+)
+from repro.delay import latency_report
+from repro.distributed import DistributedConfig, solve_distributed
+from repro.exact import solve_exact
+from repro.graphs import connected_random_network, diameter
+from repro.metrics import evaluate_contention, placement_gini
+from repro.online import OnlineFairCache, expire, publish
+from repro.viz import render_delta_map, render_grid_placement
+from repro.workloads import grid_problem
+
+
+class TestBatteryAcrossAlgorithms:
+    """The footnote-1 battery model must bind for every solver."""
+
+    @pytest.fixture
+    def battery_problem(self):
+        return grid_problem(
+            4, num_chunks=6, capacity=5,
+            battery_capacity=2.0, energy_per_cache=1.0,
+        )
+
+    def test_approximation_respects_battery(self, battery_problem):
+        placement = solve_approximation(battery_problem)
+        placement.validate()
+        assert max(placement.loads().values()) <= 2
+
+    def test_distributed_respects_battery(self, battery_problem):
+        outcome = solve_distributed(battery_problem)
+        outcome.placement.validate()
+        assert max(outcome.placement.loads().values()) <= 2
+
+    def test_exact_respects_battery(self):
+        problem = grid_problem(
+            3, num_chunks=4, capacity=5,
+            battery_capacity=1.0, energy_per_cache=1.0,
+        )
+        placement = solve_exact(problem)
+        placement.validate()
+        assert max(placement.loads().values()) <= 1
+
+    def test_battery_weight_steers_placement(self):
+        """High battery fairness weight pushes load off drained nodes."""
+        base = grid_problem(4, num_chunks=4)
+        weighted = grid_problem(
+            4, num_chunks=4, battery_capacity=4.0, battery_weight=5.0
+        )
+        a = solve_approximation(base)
+        b = solve_approximation(weighted)
+        a.validate()
+        b.validate()
+        # both feasible; the battery-weighted one never exceeds budget
+        assert max(b.loads().values()) <= 4
+
+
+class TestOnlineWithBattery:
+    def test_battery_drains_across_events(self):
+        problem = grid_problem(
+            4, num_chunks=0, battery_capacity=2.0, energy_per_cache=1.0,
+        )
+        cache = OnlineFairCache(
+            problem,
+            config=ApproximationConfig(dual=DualAscentConfig(span_threshold=2)),
+        )
+        for chunk in range(6):
+            cache.process(publish(float(chunk), chunk))
+        # eviction frees storage but not battery: nodes that cached twice
+        # are out of the game forever
+        cache.process(expire(10.0, 0))
+        battery = cache.state.battery
+        drained = [n for n in problem.clients if battery.remaining(n) == 0]
+        for node in drained:
+            assert not cache.state.can_cache(node)
+
+
+class TestEndToEndPipeline:
+    """Random network → all solvers → metrics → latency, in one flow."""
+
+    def test_random_network_pipeline(self):
+        graph, _ = connected_random_network(30, seed=9)
+        problem = CachingProblem(graph=graph, producer=0, num_chunks=4)
+        appx = solve_approximation(problem)
+        dist = solve_distributed(problem).placement
+        for placement in (appx, dist):
+            placement.validate()
+            report = evaluate_contention(placement)
+            assert report.total > 0
+            assert 0 <= placement_gini(placement) <= 1
+            latency = latency_report(placement)
+            assert latency.count == 29 * 4
+            assert latency.mean > 0
+
+    def test_viz_round_trip(self):
+        problem = grid_problem(4, num_chunks=2)
+        appx = solve_approximation(problem)
+        exact = solve_exact(problem)
+        text = render_grid_placement(appx)
+        assert len(text.splitlines()) == 4
+        delta = render_delta_map(4, appx.loads(), exact.loads(),
+                                 producer=problem.producer)
+        assert "*" in delta
+
+    def test_diameter_bounds_dual_ascent_paths(self):
+        """Sanity tying graph stats to the protocol: any client-server
+        path in a placement is at most the network diameter."""
+        problem = grid_problem(5, num_chunks=2)
+        placement = solve_approximation(problem)
+        d = diameter(problem.graph)
+        state = problem.new_state()
+        for chunk in placement.chunks:
+            for client, server in chunk.assignment.items():
+                path = state.costs.path(server, client)
+                assert len(path) - 1 <= d
+
+
+class TestConfigurationMatrix:
+    """Weights and knobs compose without breaking feasibility."""
+
+    @pytest.mark.parametrize("fairness_weight", [0.0, 1.0, 5.0])
+    def test_fairness_weight_sweep(self, fairness_weight):
+        problem = grid_problem(4, num_chunks=3,
+                               fairness_weight=fairness_weight)
+        placement = solve_approximation(problem)
+        placement.validate()
+
+    @pytest.mark.parametrize("m_scale", [0.5, 1.0, 3.0])
+    def test_dissemination_scale_sweep(self, m_scale):
+        problem = grid_problem(4, num_chunks=3,
+                               dissemination_scale=m_scale)
+        placement = solve_approximation(problem)
+        placement.validate()
+
+    def test_zero_contention_weight(self):
+        problem = grid_problem(4, num_chunks=2, contention_weight=0.0)
+        placement = solve_approximation(problem)
+        placement.validate()
+
+    @pytest.mark.parametrize("step", [0.5, 1.0, 4.0])
+    def test_distributed_step_sweep(self, step):
+        problem = grid_problem(4, num_chunks=2)
+        outcome = solve_distributed(problem, DistributedConfig(step=step))
+        outcome.placement.validate()

@@ -1,0 +1,127 @@
+"""Unit tests for placement/problem JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CachingProblem, solve_approximation
+from repro.errors import ProblemError
+from repro.graphs import Graph, grid_graph
+from repro.io import (
+    decode_node,
+    encode_node,
+    graph_from_dict,
+    graph_to_dict,
+    load_placement,
+    placement_from_dict,
+    placement_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    save_placement,
+)
+from repro.workloads import grid_problem
+
+node_labels = st.recursive(
+    st.one_of(
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.text(max_size=12),
+        st.booleans(),
+    ),
+    lambda children: st.tuples(children, children),
+    max_leaves=4,
+)
+
+
+class TestNodeCodec:
+    @given(node_labels)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, label):
+        assert decode_node(encode_node(label)) == label
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_node(encode_node(True)) is True
+        assert decode_node(encode_node(1)) == 1
+        assert type(decode_node(encode_node(1))) is int
+
+    def test_tuple_nesting(self):
+        label = (1, ("a", 2))
+        assert decode_node(encode_node(label)) == label
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ProblemError):
+            encode_node([1, 2])
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProblemError):
+            decode_node({"v": 1})
+        with pytest.raises(ProblemError):
+            decode_node({"t": "complex", "v": 1})
+
+
+class TestGraphCodec:
+    def test_round_trip_weights(self):
+        g = Graph([(0, 1, 2.5), ((1, 2), "x", 1.0)])
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.weight(0, 1) == 2.5
+        assert restored.has_edge((1, 2), "x")
+        assert restored.num_nodes == g.num_nodes
+
+    def test_isolated_nodes_kept(self):
+        g = Graph()
+        g.add_node(7)
+        restored = graph_from_dict(graph_to_dict(g))
+        assert 7 in restored
+
+
+class TestProblemCodec:
+    def test_round_trip(self):
+        problem = grid_problem(4, num_chunks=3, capacity=2,
+                               fairness_weight=2.0)
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.producer == problem.producer
+        assert restored.num_chunks == 3
+        assert restored.fairness_weight == 2.0
+        assert restored.new_storage().capacity(0) == 2
+        assert restored.graph.num_edges == problem.graph.num_edges
+
+
+class TestPlacementCodec:
+    @pytest.fixture(scope="class")
+    def placement(self):
+        return solve_approximation(grid_problem(4, num_chunks=3))
+
+    def test_round_trip_equivalence(self, placement):
+        restored = placement_from_dict(placement_to_dict(placement))
+        assert restored.algorithm == placement.algorithm
+        assert [c.caches for c in restored.chunks] == [
+            c.caches for c in placement.chunks
+        ]
+        assert restored.objective_value() == pytest.approx(
+            placement.objective_value()
+        )
+        assert restored.loads() == placement.loads()
+
+    def test_payload_is_json_safe(self, placement):
+        text = json.dumps(placement_to_dict(placement))
+        assert "chunk" in text
+
+    def test_file_round_trip(self, placement, tmp_path):
+        path = tmp_path / "placement.json"
+        save_placement(placement, str(path))
+        restored = load_placement(str(path))
+        assert restored.total_copies() == placement.total_copies()
+
+    def test_version_checked(self, placement):
+        payload = placement_to_dict(placement)
+        payload["format_version"] = 99
+        with pytest.raises(ProblemError):
+            placement_from_dict(payload)
+
+    def test_tampered_placement_rejected(self, placement):
+        """Deserialization re-validates: a corrupted assignment fails."""
+        payload = placement_to_dict(placement)
+        payload["chunks"][0]["assignment"] = payload["chunks"][0]["assignment"][:1]
+        with pytest.raises(ProblemError):
+            placement_from_dict(payload)

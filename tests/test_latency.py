@@ -1,0 +1,90 @@
+"""Unit tests for the request-level latency report."""
+
+import pytest
+
+from repro.core import solve_approximation
+from repro.baselines import solve_hopcount
+from repro.delay import DcfParameters, LatencyReport, latency_report
+from repro.metrics import evaluate_contention
+from repro.workloads import grid_problem
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return solve_approximation(grid_problem(4, num_chunks=3))
+
+
+class TestReportStats:
+    def test_fetch_count(self, placement):
+        report = latency_report(placement)
+        clients = len(placement.problem.clients)
+        assert report.count == clients * 3
+
+    def test_all_latencies_nonnegative(self, placement):
+        report = latency_report(placement)
+        assert all(lat >= 0 for lat in report.fetch_latencies)
+
+    def test_self_service_is_free(self, placement):
+        report = latency_report(placement)
+        # at least one client caches a chunk itself => zero-latency fetches
+        assert min(report.fetch_latencies) == 0.0
+
+    def test_mean_median_max_consistent(self, placement):
+        report = latency_report(placement)
+        assert 0 <= report.median <= report.maximum
+        assert 0 <= report.mean <= report.maximum
+
+    def test_percentiles_monotone(self, placement):
+        report = latency_report(placement)
+        values = [report.percentile(p) for p in (0, 25, 50, 75, 95, 100)]
+        assert values == sorted(values)
+        assert report.percentile(100) == report.maximum
+
+    def test_invalid_percentile(self, placement):
+        report = latency_report(placement)
+        with pytest.raises(ValueError):
+            report.percentile(101)
+
+    def test_worst_chunk_completion(self, placement):
+        report = latency_report(placement)
+        assert report.worst_chunk_completion() == max(
+            report.per_chunk_completion.values()
+        )
+        assert set(report.per_chunk_completion) == {0, 1, 2}
+
+    def test_empty_report(self):
+        report = LatencyReport(fetch_latencies=(), per_chunk_completion={})
+        assert report.mean == 0.0
+        assert report.maximum == 0.0
+        assert report.percentile(50) == 0.0
+        assert report.worst_chunk_completion() == 0.0
+
+
+class TestModelBehavior:
+    def test_faster_radio_lower_latency(self, placement):
+        slow = latency_report(placement, DcfParameters())
+        fast = latency_report(
+            placement, DcfParameters(chunk_transmission=0.073,
+                                     collision_duration=0.073)
+        )
+        assert fast.mean < slow.mean
+
+    def test_ranking_agrees_with_contention(self):
+        """The paper's core modelling claim: optimizing contention cost
+        orders algorithms the same way modelled latency does."""
+        problem = grid_problem(6)
+        appx = solve_approximation(problem)
+        hopc = solve_hopcount(problem)
+        assert (
+            evaluate_contention(appx).access
+            < evaluate_contention(hopc).access
+        )
+        assert latency_report(appx).mean < latency_report(hopc).mean
+
+    def test_reassign_roughly_not_worse(self, placement):
+        # "Nearest" minimizes the *linear* contention cost, while the full
+        # DCF model adds a quadratic collision term — so nearest-copy can
+        # lose individual fetches, but not by much in aggregate.
+        nearest = latency_report(placement, reassign=True)
+        recorded = latency_report(placement, reassign=False)
+        assert nearest.mean <= 1.1 * recorded.mean + 1e-9

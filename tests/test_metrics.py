@@ -1,0 +1,166 @@
+"""Unit tests for fairness and contention metrics."""
+
+import pytest
+
+from repro.core import solve_approximation
+from repro.baselines import solve_hopcount
+from repro.metrics import (
+    evaluate_contention,
+    gini_coefficient,
+    jains_index,
+    load_concentration_curve,
+    percentile_fairness,
+    placement_gini,
+    placement_loads,
+    placement_percentile_fairness,
+    total_contention_cost,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([3, 3, 3, 3]) == pytest.approx(0.0)
+
+    def test_single_hoarder_near_one(self):
+        g = gini_coefficient([10] + [0] * 9)
+        assert g == pytest.approx(0.9)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_known_value(self):
+        # loads [1, 3]: sum |ti - tj| over ordered pairs = 4; 2*n*sum = 16
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3, 4])
+        b = gini_coefficient([10, 20, 30, 40])
+        assert a == pytest.approx(b)
+
+    def test_order_invariant(self):
+        assert gini_coefficient([5, 1, 3]) == pytest.approx(
+            gini_coefficient([1, 3, 5])
+        )
+
+    def test_matches_naive_formula(self):
+        loads = [0, 1, 1, 2, 5, 3]
+        n = len(loads)
+        naive = sum(abs(a - b) for a in loads for b in loads) / (
+            2 * n * sum(loads)
+        )
+        assert gini_coefficient(loads) == pytest.approx(naive)
+
+
+class TestPercentileFairness:
+    def test_uniform_equals_p(self):
+        assert percentile_fairness([2, 2, 2, 2], 0.75) == pytest.approx(0.75)
+
+    def test_concentrated_small(self):
+        # one node holds everything: p% of data needs p% of ... 1 node
+        value = percentile_fairness([10, 0, 0, 0], 0.5)
+        assert value == pytest.approx(0.5 / 4)
+
+    def test_paper_hopc_value(self):
+        # Hopc on 6x6: 2 nodes with 5 chunks each, 33 empty nodes.
+        loads = [5, 5] + [0] * 33
+        value = percentile_fairness(loads, 0.75)
+        assert 100 * value == pytest.approx(4.29, abs=0.05)  # paper: 4.28%
+
+    def test_zero_p(self):
+        assert percentile_fairness([1, 2], 0.0) == 0.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            percentile_fairness([1], 1.5)
+
+    def test_empty_loads(self):
+        assert percentile_fairness([], 0.5) == 0.0
+
+    def test_full_ratio_uses_loaded_nodes_only(self):
+        value = percentile_fairness([4, 4, 0, 0], 1.0)
+        assert value == pytest.approx(0.5)
+
+
+class TestConcentrationCurve:
+    def test_monotone_to_one(self):
+        curve = load_concentration_curve([3, 1, 2, 0])
+        assert curve == sorted(curve)
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_most_loaded_first(self):
+        curve = load_concentration_curve([1, 9])
+        assert curve[0] == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert load_concentration_curve([]) == []
+
+    def test_zero_loads(self):
+        assert load_concentration_curve([0, 0]) == [0.0, 0.0]
+
+
+class TestJains:
+    def test_uniform_is_one(self):
+        assert jains_index([2, 2, 2]) == pytest.approx(1.0)
+
+    def test_concentrated_is_1_over_n(self):
+        assert jains_index([9, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_empty_and_zero(self):
+        assert jains_index([]) == 1.0
+        assert jains_index([0, 0]) == 1.0
+
+
+class TestPlacementMetrics:
+    def test_loads_exclude_producer(self, small_problem):
+        placement = solve_approximation(small_problem)
+        loads = placement_loads(placement)
+        assert len(loads) == len(small_problem.clients)
+
+    def test_include_producer_flag(self, small_problem):
+        placement = solve_approximation(small_problem)
+        loads = placement_loads(placement, include_producer=True)
+        assert len(loads) == small_problem.graph.num_nodes
+
+    def test_appx_fairer_than_hopc(self, paper_problem):
+        appx = solve_approximation(paper_problem)
+        hopc = solve_hopcount(paper_problem)
+        assert placement_gini(appx) < placement_gini(hopc)
+        assert placement_percentile_fairness(
+            appx
+        ) > placement_percentile_fairness(hopc)
+
+
+class TestContentionEvaluation:
+    def test_report_totals(self, small_problem):
+        placement = solve_approximation(small_problem)
+        report = evaluate_contention(placement)
+        assert report.total == pytest.approx(
+            report.access + report.dissemination
+        )
+        assert report.total == pytest.approx(total_contention_cost(placement))
+
+    def test_per_chunk_sums(self, small_problem):
+        placement = solve_approximation(small_problem)
+        report = evaluate_contention(placement)
+        assert sum(report.per_chunk_access.values()) == pytest.approx(
+            report.access
+        )
+        assert sum(report.per_chunk_dissemination.values()) == pytest.approx(
+            report.dissemination
+        )
+        per_chunk = report.per_chunk_total()
+        assert sum(per_chunk.values()) == pytest.approx(report.total)
+
+    def test_reassign_never_worse(self, small_problem):
+        placement = solve_approximation(small_problem)
+        nearest = evaluate_contention(placement, reassign=True)
+        recorded = evaluate_contention(placement, reassign=False)
+        assert nearest.access <= recorded.access + 1e-9
+
+    def test_final_state_pricing(self, small_problem):
+        """Final-state costs exceed first-chunk stage costs: storage filled."""
+        placement = solve_approximation(small_problem)
+        report = evaluate_contention(placement)
+        first_stage = placement.chunks[0].stage_cost.access
+        assert report.per_chunk_access[0] >= first_stage - 1e-9

@@ -1,0 +1,201 @@
+"""Unit tests for the online extension (publish/expire, replacement)."""
+
+import pytest
+
+from repro.core import solve_approximation
+from repro.errors import ProblemError
+from repro.online import (
+    MostReplicated,
+    NeverEvict,
+    OldestFirst,
+    OnlineFairCache,
+    expire,
+    generate_workload,
+    publish,
+    solve_online,
+)
+from repro.workloads import grid_problem
+
+
+class TestEvents:
+    def test_publish_and_expire(self):
+        p = publish(1.0, 0)
+        e = expire(2.0, 0)
+        assert p.kind == "publish" and e.kind == "expire"
+
+    def test_ordering(self):
+        events = sorted([publish(2.0, 1, seq=1), publish(1.0, 0, seq=0)])
+        assert [e.chunk for e in events] == [0, 1]
+
+    def test_invalid_kind_rejected(self):
+        from repro.online.events import OnlineEvent
+
+        with pytest.raises(ProblemError):
+            OnlineEvent(time=0.0, seq=0, kind="vanish", chunk=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ProblemError):
+            publish(-1.0, 0)
+
+
+class TestWorkloadGenerator:
+    def test_counts_and_ordering(self):
+        wl = generate_workload(10, horizon=100.0, mean_lifetime=30.0, seed=1)
+        times = [e.time for e in wl]
+        assert times == sorted(times)
+        publishes = [e for e in wl if e.kind == "publish"]
+        assert len(publishes) == 10
+
+    def test_deterministic(self):
+        a = generate_workload(8, 50.0, 20.0, seed=7)
+        b = generate_workload(8, 50.0, 20.0, seed=7)
+        assert list(a) == list(b)
+
+    def test_expiries_within_horizon(self):
+        wl = generate_workload(20, 50.0, 10.0, seed=3)
+        for event in wl:
+            assert event.time <= 50.0
+
+    def test_every_expire_follows_its_publish(self):
+        wl = generate_workload(20, 50.0, 10.0, seed=3)
+        published = set()
+        for event in wl:
+            if event.kind == "publish":
+                published.add(event.chunk)
+            else:
+                assert event.chunk in published
+
+    def test_invalid_params(self):
+        with pytest.raises(ProblemError):
+            generate_workload(-1, 10.0, 5.0)
+        with pytest.raises(ProblemError):
+            generate_workload(5, 0.0, 5.0)
+
+
+class TestController:
+    @pytest.fixture
+    def problem(self):
+        return grid_problem(4, num_chunks=0)
+
+    def test_publish_places_chunk(self, problem):
+        cache = OnlineFairCache(problem)
+        cache.process(publish(0.0, 0))
+        assert cache.state.storage.holders(0)
+        assert 0 in cache.trace.placements
+
+    def test_expire_releases_copies(self, problem):
+        cache = OnlineFairCache(problem)
+        cache.process(publish(0.0, 0))
+        cache.process(expire(1.0, 0))
+        assert not cache.state.storage.holders(0)
+
+    def test_expire_unknown_chunk_rejected(self, problem):
+        cache = OnlineFairCache(problem)
+        with pytest.raises(ProblemError):
+            cache.process(expire(0.0, 5))
+
+    def test_double_publish_rejected(self, problem):
+        cache = OnlineFairCache(problem)
+        cache.process(publish(0.0, 0))
+        with pytest.raises(ProblemError):
+            cache.process(publish(1.0, 0))
+
+    def test_time_must_not_regress(self, problem):
+        cache = OnlineFairCache(problem)
+        cache.process(publish(5.0, 0))
+        with pytest.raises(ProblemError):
+            cache.process(publish(1.0, 1))
+
+    def test_matches_offline_without_expiry(self):
+        """With no expiries the online run IS Algorithm 1."""
+        problem = grid_problem(4, num_chunks=3)
+        offline = solve_approximation(problem)
+        cache = OnlineFairCache(grid_problem(4, num_chunks=0))
+        for chunk in range(3):
+            cache.process(publish(float(chunk), chunk))
+        for chunk in range(3):
+            assert (
+                cache.trace.placements[chunk].caches
+                == offline.chunks[chunk].caches
+            )
+
+    def test_expiry_frees_room_for_future_chunks(self):
+        problem = grid_problem(3, num_chunks=0, capacity=1)
+        cache = OnlineFairCache(problem, policy=NeverEvict())
+        for chunk in range(8):
+            cache.process(publish(float(chunk), chunk))
+        # 8 clients with 1 slot each are now full
+        cache.process(expire(10.0, 0))
+        cache.process(publish(11.0, 100))
+        assert cache.trace.placements[100].caches
+
+    def test_snapshots_recorded(self, problem):
+        trace = solve_online(
+            problem, [publish(0.0, 0), publish(1.0, 1), expire(2.0, 0)]
+        )
+        assert len(trace.snapshots) == 3
+        assert trace.snapshots[-1].event_kind == "expire"
+        assert trace.snapshots[-1].live_chunks == 1
+        assert all(0 <= s.gini <= 1 for s in trace.snapshots)
+
+    def test_peak_copies(self, problem):
+        trace = solve_online(problem, [publish(0.0, 0)])
+        assert trace.peak_copies == trace.snapshots[0].total_copies
+
+
+class TestReplacement:
+    def _aggressive_config(self):
+        """Open facilities eagerly so storage genuinely saturates."""
+        from repro.core import ApproximationConfig, DualAscentConfig
+
+        return ApproximationConfig(dual=DualAscentConfig(span_threshold=1))
+
+    def _saturate(self, policy):
+        problem = grid_problem(3, num_chunks=0, capacity=1)
+        cache = OnlineFairCache(
+            problem, config=self._aggressive_config(), policy=policy
+        )
+        chunk = 0
+        while any(cache.state.can_cache(n) for n in problem.clients):
+            cache.process(publish(float(chunk), chunk))
+            chunk += 1
+            assert chunk < 50, "network failed to saturate"
+        return cache, chunk
+
+    def test_never_evict_leaves_chunk_uncached(self):
+        cache, next_chunk = self._saturate(NeverEvict())
+        cache.process(publish(100.0, 99))
+        assert 99 in cache.trace.uncached_chunks
+        assert cache.trace.evictions == 0
+
+    def test_oldest_first_evicts_oldest(self):
+        cache, next_chunk = self._saturate(OldestFirst())
+        oldest_holders = cache.state.storage.holders(0)
+        cache.process(publish(100.0, 99))
+        assert cache.trace.evictions > 0
+        assert cache.trace.placements[99].caches
+        # the oldest chunk lost copies wherever eviction struck
+        if oldest_holders:
+            assert cache.state.storage.holders(0) != oldest_holders
+
+    def test_most_replicated_prefers_redundant(self):
+        cache, next_chunk = self._saturate(MostReplicated())
+        replicas_before = cache._replica_counts()
+        most_replicated = max(replicas_before, key=replicas_before.get)
+        cache.process(publish(100.0, 99))
+        assert cache.trace.evictions > 0
+        assert cache.trace.placements[99].caches
+        replicas_after = cache._replica_counts()
+        assert (
+            replicas_after.get(most_replicated, 0)
+            <= replicas_before[most_replicated]
+        )
+
+    def test_run_full_workload(self):
+        problem = grid_problem(4, num_chunks=0, capacity=2)
+        workload = generate_workload(12, 60.0, 15.0, seed=5)
+        trace = solve_online(problem, workload)
+        assert len(trace.snapshots) == len(workload)
+        # storage never exceeded anywhere
+        state = trace  # placements committed through the state machinery
+        assert trace.peak_copies <= 15 * 2  # 15 clients x capacity 2

@@ -1,0 +1,168 @@
+"""Unit tests for the battery-fairness extension (paper footnote 1)."""
+
+import math
+
+import pytest
+
+from repro.core import CachingProblem, solve_approximation
+from repro.core.resources import (
+    BatteryState,
+    battery_fairness_cost,
+    combined_fairness_cost,
+)
+from repro.errors import ProblemError
+from repro.graphs import grid_graph
+from repro.workloads import grid_problem
+
+
+class TestBatteryFairnessCost:
+    def test_full_battery_free(self):
+        assert battery_fairness_cost(0.0, 10.0) == 0.0
+
+    def test_dead_battery_infinite(self):
+        assert battery_fairness_cost(10.0, 10.0) == math.inf
+
+    def test_same_shape_as_eq1(self):
+        # consumed/capacity 1..4 of 5 matches the storage sequence
+        values = [battery_fairness_cost(float(s), 5.0) for s in range(5)]
+        assert values == pytest.approx([0, 0.25, 2 / 3, 1.5, 4.0])
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ProblemError):
+            battery_fairness_cost(-1.0, 5.0)
+        with pytest.raises(ProblemError):
+            battery_fairness_cost(6.0, 5.0)
+
+
+class TestCombined:
+    def test_without_battery(self):
+        assert combined_fairness_cost(2.0, None) == 2.0
+
+    def test_weighted_sum(self):
+        assert combined_fairness_cost(2.0, 3.0, 1.0, 0.5) == 3.5
+
+
+class TestBatteryState:
+    @pytest.fixture
+    def battery(self):
+        return BatteryState(range(4), 10.0, producer=0)
+
+    def test_initial(self, battery):
+        assert battery.capacity(1) == 10.0
+        assert battery.remaining(1) == 10.0
+        assert battery.consumed(1) == 0.0
+
+    def test_drain_and_recharge(self, battery):
+        battery.drain(1, 4.0)
+        assert battery.remaining(1) == 6.0
+        battery.recharge(1, 2.0)
+        assert battery.remaining(1) == 8.0
+
+    def test_overdrain_rejected(self, battery):
+        with pytest.raises(ProblemError):
+            battery.drain(1, 11.0)
+
+    def test_negative_amounts_rejected(self, battery):
+        with pytest.raises(ProblemError):
+            battery.drain(1, -1.0)
+        with pytest.raises(ProblemError):
+            battery.recharge(1, -1.0)
+
+    def test_can_spend(self, battery):
+        battery.drain(1, 9.5)
+        assert battery.can_spend(1, 0.5)
+        assert not battery.can_spend(1, 1.0)
+
+    def test_producer_fairness_infinite(self, battery):
+        assert battery.fairness_cost(0) == math.inf
+
+    def test_per_node_capacities(self):
+        b = BatteryState([1, 2], {1: 5.0, 2: 0.0})
+        assert not b.can_spend(2, 1.0)
+        assert b.fairness_cost(2) == math.inf
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ProblemError):
+            BatteryState([1], -1.0)
+
+    def test_copy_independent(self, battery):
+        battery.drain(1, 5.0)
+        clone = battery.copy()
+        clone.drain(1, 2.0)
+        assert battery.consumed(1) == 5.0
+        assert clone.consumed(1) == 7.0
+
+    def test_levels(self, battery):
+        battery.drain(1, 5.0)
+        assert battery.levels()[1] == pytest.approx(0.5)
+
+
+class TestProblemIntegration:
+    def test_battery_created_when_configured(self):
+        problem = grid_problem(4, battery_capacity=3.0)
+        state = problem.new_state()
+        assert state.battery is not None
+        assert state.battery.capacity(0) == 3.0
+
+    def test_no_battery_by_default(self):
+        state = grid_problem(4).new_state()
+        assert state.battery is None
+
+    def test_cache_drains_battery(self):
+        problem = grid_problem(4, battery_capacity=3.0, energy_per_cache=1.0)
+        state = problem.new_state()
+        state.cache(1, 0)
+        assert state.battery.consumed(1) == 1.0
+
+    def test_battery_limits_caching(self):
+        # battery allows 2 caches even though storage allows 5
+        problem = grid_problem(4, battery_capacity=2.0, energy_per_cache=1.0)
+        state = problem.new_state()
+        state.cache(1, 0)
+        state.cache(1, 1)
+        assert not state.can_cache(1)
+        assert state.cache_budget(1) == 0
+
+    def test_fairness_includes_battery_term(self):
+        problem = grid_problem(
+            4, battery_capacity=4.0, battery_weight=2.0, energy_per_cache=1.0
+        )
+        state = problem.new_state()
+        state.cache(1, 0)
+        # storage: 1/(5-1) = 0.25; battery: 1/(4-1) = 1/3, weighted x2
+        assert state.costs.fairness_cost(1) == pytest.approx(0.25 + 2 / 3)
+
+    def test_eviction_keeps_battery_spent(self):
+        problem = grid_problem(4, battery_capacity=3.0)
+        state = problem.new_state()
+        state.cache(1, 0)
+        state.evict(1, 0)
+        assert state.battery.consumed(1) == 1.0
+        assert state.storage.used(1) == 0
+
+    def test_solve_with_batteries_feasible(self):
+        problem = grid_problem(4, num_chunks=4, battery_capacity=2.0)
+        placement = solve_approximation(problem)
+        placement.validate()
+        # battery cap of 2 units binds harder than storage cap of 5
+        assert max(placement.loads().values()) <= 2
+
+    def test_battery_dead_nodes_excluded(self):
+        problem = grid_problem(
+            3, num_chunks=3, battery_capacity=1.0, energy_per_cache=1.0
+        )
+        placement = solve_approximation(problem)
+        placement.validate()
+        assert max(placement.loads().values()) <= 1
+
+    def test_invalid_battery_params_rejected(self):
+        with pytest.raises(ProblemError):
+            CachingProblem(
+                graph=grid_graph(3), producer=0, num_chunks=1,
+                battery_weight=-1.0,
+            )
+        with pytest.raises(ProblemError):
+            CachingProblem(
+                graph=grid_graph(3), producer=0, num_chunks=1,
+                energy_per_cache=-1.0,
+            )

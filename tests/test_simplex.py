@@ -1,0 +1,112 @@
+"""Unit tests for the pure-numpy two-phase simplex."""
+
+import numpy as np
+import pytest
+
+from repro.ilp.simplex import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    solve_lp,
+    solve_standard_lp,
+)
+
+
+class TestStandardForm:
+    def test_basic_optimum(self):
+        # min -x1 - 2x2 s.t. x1 + x2 + s = 4
+        c = np.array([-1.0, -2.0, 0.0])
+        A = np.array([[1.0, 1.0, 1.0]])
+        b = np.array([4.0])
+        res = solve_standard_lp(c, A, b)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-8.0)
+
+    def test_infeasible(self):
+        # x1 = -1 with x >= 0 (after sign flip: row becomes -x1 = 1)
+        c = np.array([1.0])
+        A = np.array([[1.0]])
+        b = np.array([-1.0])
+        res = solve_standard_lp(c, A, b)
+        assert res.status == INFEASIBLE
+
+    def test_degenerate_redundant_rows(self):
+        c = np.array([1.0, 1.0])
+        A = np.array([[1.0, 1.0], [2.0, 2.0]])
+        b = np.array([2.0, 4.0])
+        res = solve_standard_lp(c, A, b)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(2.0)
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            solve_standard_lp(np.ones(2), np.ones((1, 3)), np.ones(1))
+        with pytest.raises(ValueError):
+            solve_standard_lp(np.ones(3), np.ones((1, 3)), np.ones(2))
+
+
+class TestGeneralForm:
+    def test_matches_scipy_on_simple(self):
+        from scipy.optimize import linprog
+
+        c = [2.0, 3.0, -1.0]
+        A_ub = np.array([[1, 1, 1], [2, 0, 1]], dtype=float)
+        b_ub = [10.0, 8.0]
+        A_eq = np.array([[1, -1, 0]], dtype=float)
+        b_eq = [1.0]
+        ours = solve_lp(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq)
+        ref = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                      method="highs")
+        assert ours.is_optimal and ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun)
+
+    def test_upper_bounds(self):
+        res = solve_lp([-1.0], bounds=[(0.0, 3.0)])
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_shifted_lower_bounds(self):
+        res = solve_lp([1.0], bounds=[(2.0, None)])
+        assert res.objective == pytest.approx(2.0)
+
+    def test_free_variable(self):
+        A_ub = np.array([[-1.0]])
+        res = solve_lp([1.0], A_ub=A_ub, b_ub=[5.0], bounds=[(None, None)])
+        assert res.objective == pytest.approx(-5.0)
+
+    def test_only_upper_bound_variable(self):
+        res = solve_lp([1.0], bounds=[(None, 4.0)],
+                       A_ub=np.array([[-1.0]]), b_ub=[2.0])
+        # minimize x with x <= 4 and -x <= 2 → x >= -2
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_unbounded(self):
+        res = solve_lp([-1.0], bounds=[(0.0, None)])
+        assert res.status == UNBOUNDED
+
+    def test_inconsistent_bounds_infeasible(self):
+        res = solve_lp([1.0], bounds=[(3.0, 1.0)])
+        assert res.status == INFEASIBLE
+
+    def test_infeasible_constraints(self):
+        A_ub = np.array([[1.0], [-1.0]])
+        res = solve_lp([1.0], A_ub=A_ub, b_ub=[1.0, -3.0])
+        assert res.status == INFEASIBLE
+
+    def test_random_lps_match_scipy(self):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            n, m = 6, 4
+            c = rng.uniform(-2, 2, n)
+            A = rng.uniform(-1, 1, (m, n))
+            b = rng.uniform(1, 4, m)
+            ours = solve_lp(c, A_ub=A, b_ub=b, bounds=[(0.0, 2.0)] * n)
+            ref = linprog(c, A_ub=A, b_ub=b, bounds=[(0, 2)] * n,
+                          method="highs")
+            assert ours.is_optimal and ref.status == 0
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+
+    def test_mismatched_bounds_length(self):
+        with pytest.raises(ValueError):
+            solve_lp([1.0, 2.0], bounds=[(0, 1)])

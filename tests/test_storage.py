@@ -1,0 +1,96 @@
+"""Unit tests for StorageState."""
+
+import pytest
+
+from repro.core import StorageState
+from repro.errors import CapacityError, ProblemError
+
+
+@pytest.fixture
+def storage():
+    return StorageState(nodes=range(4), capacity=2, producer=0)
+
+
+class TestBasics:
+    def test_initial_state(self, storage):
+        assert storage.used(1) == 0
+        assert storage.capacity(1) == 2
+        assert storage.available(1) == 2
+        assert storage.total_cached() == 0
+
+    def test_membership(self, storage):
+        assert 1 in storage
+        assert 99 not in storage
+
+    def test_per_node_capacities(self):
+        s = StorageState(nodes=[1, 2], capacity={1: 3, 2: 0})
+        assert s.capacity(1) == 3
+        assert s.capacity(2) == 0
+        assert not s.can_cache(2)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ProblemError):
+            StorageState(nodes=[1], capacity=-1)
+
+    def test_producer_must_be_a_node(self):
+        with pytest.raises(ProblemError):
+            StorageState(nodes=[1, 2], capacity=2, producer=9)
+
+
+class TestCaching:
+    def test_add_and_query(self, storage):
+        storage.add(1, 0)
+        assert storage.used(1) == 1
+        assert storage.chunks_at(1) == {0}
+        assert storage.holders(0) == {1}
+
+    def test_producer_never_caches(self, storage):
+        assert not storage.can_cache(0)
+        with pytest.raises(CapacityError):
+            storage.add(0, 1)
+
+    def test_capacity_enforced(self, storage):
+        storage.add(1, 0)
+        storage.add(1, 1)
+        assert not storage.can_cache(1)
+        with pytest.raises(CapacityError):
+            storage.add(1, 2)
+
+    def test_duplicate_chunk_rejected(self, storage):
+        storage.add(1, 0)
+        with pytest.raises(CapacityError):
+            storage.add(1, 0)
+
+    def test_remove(self, storage):
+        storage.add(1, 0)
+        storage.remove(1, 0)
+        assert storage.used(1) == 0
+        with pytest.raises(CapacityError):
+            storage.remove(1, 0)
+
+    def test_loads(self, storage):
+        storage.add(1, 0)
+        storage.add(1, 1)
+        storage.add(2, 0)
+        assert storage.loads() == {0: 0, 1: 2, 2: 1, 3: 0}
+        assert storage.total_cached() == 3
+
+    def test_chunks_at_returns_copy(self, storage):
+        storage.add(1, 0)
+        chunks = storage.chunks_at(1)
+        chunks.add(99)
+        assert storage.chunks_at(1) == {0}
+
+    def test_copy_is_independent(self, storage):
+        storage.add(1, 0)
+        clone = storage.copy()
+        clone.add(2, 0)
+        assert storage.used(2) == 0
+        assert clone.used(1) == 1
+        assert clone.producer == storage.producer
+
+    def test_no_producer_allows_all(self):
+        s = StorageState(nodes=[1, 2], capacity=1)
+        s.add(1, 0)
+        s.add(2, 0)
+        assert s.total_cached() == 2

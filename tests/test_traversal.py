@@ -1,0 +1,89 @@
+"""Unit tests for BFS/DFS traversals and k-hop neighborhoods."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs import (
+    bfs_layers,
+    bfs_order,
+    dfs_order,
+    grid_graph,
+    hop_distances,
+    k_hop_neighborhood,
+    path_graph,
+)
+
+
+class TestBfs:
+    def test_order_starts_at_source(self, path5):
+        assert bfs_order(path5, 2)[0] == 2
+
+    def test_order_visits_all_reachable(self, path5):
+        assert sorted(bfs_order(path5, 0)) == [0, 1, 2, 3, 4]
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(NodeNotFoundError):
+            bfs_order(path5, 99)
+
+    def test_layers_by_distance(self, path5):
+        layers = list(bfs_layers(path5, 0))
+        assert layers == [[0], [1], [2], [3], [4]]
+
+    def test_layers_grid_counts(self, grid4):
+        layers = list(bfs_layers(grid4, 0))
+        assert [len(l) for l in layers] == [1, 2, 3, 4, 3, 2, 1]
+
+
+class TestHopDistances:
+    def test_distances_on_path(self, path5):
+        assert hop_distances(path5, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_max_hops_truncates(self, path5):
+        dist = hop_distances(path5, 0, max_hops=2)
+        assert set(dist) == {0, 1, 2}
+
+    def test_grid_center_distances(self, grid4):
+        dist = hop_distances(grid4, 5)
+        assert dist[5] == 0
+        assert dist[10] == 2
+        assert dist[15] == 4
+
+
+class TestKHop:
+    def test_one_hop_is_neighbors(self, grid4):
+        assert k_hop_neighborhood(grid4, 5, 1) == set(grid4.neighbors(5))
+
+    def test_zero_hops_empty(self, grid4):
+        assert k_hop_neighborhood(grid4, 5, 0) == set()
+
+    def test_include_source(self, grid4):
+        hood = k_hop_neighborhood(grid4, 5, 1, include_source=True)
+        assert 5 in hood
+
+    def test_negative_k_rejected(self, grid4):
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(grid4, 5, -1)
+
+    def test_large_k_covers_graph(self, grid4):
+        hood = k_hop_neighborhood(grid4, 0, 100, include_source=True)
+        assert hood == set(grid4.nodes())
+
+    def test_two_hop_grid_count(self):
+        g = grid_graph(5)
+        center = 12
+        assert len(k_hop_neighborhood(g, center, 2)) == 12
+
+
+class TestDfs:
+    def test_preorder_starts_at_source(self, grid4):
+        assert dfs_order(grid4, 3)[0] == 3
+
+    def test_visits_all(self, grid4):
+        assert sorted(dfs_order(grid4, 0)) == sorted(grid4.nodes())
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            dfs_order(path_graph(3), 42)
+
+    def test_path_dfs_is_linear(self, path5):
+        assert dfs_order(path5, 0) == [0, 1, 2, 3, 4]

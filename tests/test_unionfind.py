@@ -1,0 +1,62 @@
+"""Unit tests for the disjoint-set structure."""
+
+from repro.graphs import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.num_sets == 3
+        assert len(uf) == 3
+
+    def test_find_self(self):
+        uf = UnionFind([1])
+        assert uf.find(1) == 1
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert len(uf) == 1
+
+    def test_union_merges(self):
+        uf = UnionFind([1, 2])
+        assert uf.union(1, 2) is True
+        assert uf.connected(1, 2)
+        assert uf.num_sets == 1
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind([1, 2])
+        uf.union(1, 2)
+        assert uf.union(1, 2) is False
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert not uf.connected(0, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert len(uf) == 1
+
+    def test_num_sets_tracks_unions(self):
+        uf = UnionFind(range(10))
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.num_sets == 1
+
+    def test_path_compression_consistency(self):
+        uf = UnionFind(range(100))
+        for i in range(99):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(100))
+
+    def test_heterogeneous_elements(self):
+        uf = UnionFind()
+        uf.union("a", (1, 2))
+        assert uf.connected("a", (1, 2))

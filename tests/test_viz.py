@@ -1,0 +1,84 @@
+"""Unit tests for the text visualization helpers."""
+
+import pytest
+
+from repro.core import solve_approximation
+from repro.viz import (
+    render_delta_map,
+    render_grid_loads,
+    render_grid_placement,
+    render_load_histogram,
+)
+from repro.workloads import grid_problem
+
+
+class TestGridLoads:
+    def test_basic_map(self):
+        text = render_grid_loads(2, {0: 1, 1: 0, 2: 2, 3: 0}, producer=3)
+        rows = text.splitlines()
+        assert len(rows) == 2
+        assert "1" in rows[0] and "." in rows[0]
+        assert "2" in rows[1] and "*" in rows[1]
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            render_grid_loads(0, {})
+
+    def test_placement_rendering(self):
+        problem = grid_problem(4, num_chunks=2)
+        placement = solve_approximation(problem)
+        text = render_grid_placement(placement)
+        assert len(text.splitlines()) == 4
+        assert "*" in text  # the producer marker
+
+    def test_non_square_rejected(self):
+        from repro.core import CachingProblem
+        from repro.graphs import path_graph
+
+        problem = CachingProblem(graph=path_graph(5), producer=0, num_chunks=1)
+        placement = solve_approximation(problem)
+        with pytest.raises(ValueError):
+            render_grid_placement(placement)
+
+    def test_explicit_side(self):
+        problem = grid_problem(3, num_chunks=1)
+        placement = solve_approximation(problem)
+        text = render_grid_placement(placement, side=3)
+        assert len(text.splitlines()) == 3
+
+
+class TestHistogram:
+    def test_counts(self):
+        text = render_load_histogram([0, 1, 1, 2], width=4)
+        lines = text.splitlines()
+        assert lines[0].startswith("0 chunks | 1 node(s)")
+        assert lines[1].startswith("1 chunks | 2 node(s)")
+
+    def test_empty(self):
+        assert render_load_histogram([]) == "(no nodes)"
+
+    def test_bar_scaling(self):
+        text = render_load_histogram([0] * 10 + [1], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_load_histogram([1], width=0)
+
+
+class TestDeltaMap:
+    def test_signed_rendering(self):
+        text = render_delta_map(
+            2, {0: 3, 1: 0, 2: 1, 3: 0}, {0: 1, 1: 1, 2: 1, 3: 0},
+            producer=3,
+        )
+        assert "+2" in text
+        assert "-1" in text
+        assert "*" in text
+        assert "." in text
+
+    def test_zero_when_identical(self):
+        text = render_delta_map(2, {0: 1}, {0: 1})
+        assert "+" not in text and "-" not in text

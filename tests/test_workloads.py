@@ -1,0 +1,75 @@
+"""Unit tests for workload/scenario generators."""
+
+import pytest
+
+from repro.errors import ProblemError
+from repro.workloads import (
+    PAPER_NUM_CHUNKS,
+    PAPER_PRODUCER,
+    chunk_sweep,
+    grid_problem,
+    grid_sweep,
+    random_problem,
+    random_sweep,
+)
+
+
+class TestGridProblem:
+    def test_paper_defaults(self):
+        problem = grid_problem(6)
+        assert problem.producer == PAPER_PRODUCER
+        assert problem.num_chunks == PAPER_NUM_CHUNKS
+        assert problem.graph.num_nodes == 36
+
+    def test_small_grid_uses_center_producer(self):
+        problem = grid_problem(3)
+        assert problem.producer == 4  # node 9 absent; center instead
+
+    def test_explicit_producer(self):
+        problem = grid_problem(4, producer=0)
+        assert problem.producer == 0
+
+    def test_kwargs_pass_through(self):
+        problem = grid_problem(4, fairness_weight=2.0)
+        assert problem.fairness_weight == 2.0
+
+
+class TestRandomProblem:
+    def test_returns_positions(self):
+        problem, positions = random_problem(25, seed=3)
+        assert problem.graph.num_nodes == 25
+        assert len(positions) == 25
+
+    def test_seed_determinism(self):
+        p1, _ = random_problem(25, seed=3)
+        p2, _ = random_problem(25, seed=3)
+        assert sorted(p1.graph.edges()) == sorted(p2.graph.edges())
+
+    def test_different_seeds_differ(self):
+        p1, _ = random_problem(40, seed=1)
+        p2, _ = random_problem(40, seed=2)
+        assert sorted(p1.graph.edges()) != sorted(p2.graph.edges())
+
+
+class TestSweeps:
+    def test_grid_sweep(self):
+        sizes = [side for side, _ in grid_sweep([3, 4, 5])]
+        assert sizes == [3, 4, 5]
+
+    def test_random_sweep_counts(self):
+        items = list(random_sweep([10, 20], runs=3))
+        assert len(items) == 6
+        assert {size for size, _, _ in items} == {10, 20}
+
+    def test_random_sweep_distinct_runs(self):
+        items = list(random_sweep([20], runs=2))
+        edges = [sorted(p.graph.edges()) for _, _, p in items]
+        assert edges[0] != edges[1]
+
+    def test_random_sweep_needs_runs(self):
+        with pytest.raises(ProblemError):
+            list(random_sweep([10], runs=0))
+
+    def test_chunk_sweep(self):
+        counts = [(count, p.num_chunks) for count, p in chunk_sweep(4, [1, 5, 9])]
+        assert counts == [(1, 1), (5, 5), (9, 9)]
