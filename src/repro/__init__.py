@@ -39,6 +39,13 @@ from repro.distributed import DistributedConfig, MessageStats, solve_distributed
 from repro.exact import solve_exact
 from repro.graphs import Graph, grid_graph, random_geometric_graph
 from repro.io import load_placement, save_placement
+from repro.obs import (
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
 from repro.metrics import (
     evaluate_contention,
     gini_coefficient,
@@ -60,10 +67,13 @@ __all__ = [
     "DualAscentConfig",
     "Graph",
     "MessageStats",
+    "NullRecorder",
+    "Recorder",
     "StageCost",
     "StorageState",
     "__version__",
     "evaluate_contention",
+    "get_recorder",
     "gini_coefficient",
     "grid_graph",
     "load_placement",
@@ -74,6 +84,7 @@ __all__ = [
     "random_geometric_graph",
     "random_problem",
     "save_placement",
+    "set_recorder",
     "solve_approximation",
     "solve_approximation_timed",
     "solve_contention",
@@ -82,4 +93,5 @@ __all__ = [
     "solve_hopcount",
     "solve_random",
     "total_contention_cost",
+    "use_recorder",
 ]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the CLI without a console-script install."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

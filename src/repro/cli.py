@@ -1,20 +1,28 @@
-"""Command-line interface: run the paper's experiments or a single solve.
+"""Command-line interface: experiments, single solves, and benchmarks.
+
+Installed as both ``repro`` and the legacy alias ``fair-caching``;
+``python -m repro`` works without installation.
 
 Examples
 --------
 Regenerate a figure's data (fast mode trims sweeps)::
 
-    fair-caching experiment fig6
-    fair-caching experiment fig2 --fast
+    repro experiment fig6
+    repro experiment fig2 --fast
 
 Solve one instance and print the placement summary::
 
-    fair-caching solve --grid 6 --chunks 5 --algorithm appx
-    fair-caching solve --random 60 --seed 7 --algorithm dist
+    repro solve --grid 6 --chunks 5 --algorithm appx
+    repro solve --random 60 --seed 7 --algorithm dist
+
+Run the instrumented performance baseline and write it as JSON::
+
+    repro bench --output BENCH_PR1.json
+    repro bench --nodes 40 --repeats 1 -o quick.json
 
 List everything available::
 
-    fair-caching list
+    repro list
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ _ALGO_ALIASES = {
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="fair-caching",
+        prog="repro",
         description="Fair caching for peer data sharing (ICDCS 2017 "
         "reproduction)",
     )
@@ -72,6 +80,34 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--show-map", action="store_true",
         help="print a per-node load map (grid topologies only)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the instrumented perf-baseline suite, write BENCH JSON",
+    )
+    bench.add_argument(
+        "--output", "-o", default="BENCH.json", metavar="PATH",
+        help="where to write the repro-bench/1 JSON document",
+    )
+    bench.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only the named suite scenario (small/medium/large; "
+        "repeatable; default all)",
+    )
+    bench.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="replace the suite with one custom N-node random scenario",
+    )
+    bench.add_argument("--seed", type=int, default=2017,
+                       help="seed for --nodes scenarios")
+    bench.add_argument(
+        "--algorithms", default="appx,dist", metavar="A,B",
+        help="comma-separated algorithms to benchmark (default appx,dist)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per (scenario, algorithm); the fastest is kept",
     )
 
     sub.add_parser("list", help="list experiments and algorithms")
@@ -131,6 +167,56 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench module pulls in every solver layer.
+    from repro.obs.bench import (
+        SOLVERS,
+        SUITE_BY_NAME,
+        BenchScenario,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+    if args.nodes is not None:
+        if args.scenario:
+            print("--nodes and --scenario are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        scenarios = [BenchScenario(f"custom-{args.nodes}", args.nodes,
+                                   seed=args.seed)]
+    elif args.scenario:
+        unknown = [name for name in args.scenario if name not in SUITE_BY_NAME]
+        if unknown:
+            print(f"unknown scenario(s) {unknown}; "
+                  f"choose from {sorted(SUITE_BY_NAME)}", file=sys.stderr)
+            return 2
+        scenarios = [SUITE_BY_NAME[name] for name in args.scenario]
+    else:
+        scenarios = list(SUITE_BY_NAME.values())
+    algorithms = [
+        _ALGO_ALIASES.get(name.strip(), name.strip())
+        for name in args.algorithms.split(",")
+        if name.strip()
+    ]
+    unknown = [name for name in algorithms if name not in SOLVERS]
+    if unknown:
+        print(f"unknown algorithm(s) {unknown}; "
+              f"choose from {sorted(SOLVERS)}", file=sys.stderr)
+        return 2
+    if not algorithms:
+        print("no algorithms selected", file=sys.stderr)
+        return 2
+    result = run_bench(scenarios, algorithms, repeats=args.repeats)
+    write_bench(result, args.output)
+    print(render_bench(result))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -138,6 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "list":
         print("experiments:", ", ".join(sorted(REGISTRY)))
         print("algorithms:", ", ".join(sorted(_ALGO_ALIASES)))

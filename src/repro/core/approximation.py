@@ -28,6 +28,7 @@ from repro.core.confl import build_confl_instance
 from repro.core.dual_ascent import DualAscentConfig, dual_ascent
 from repro.core.placement import CachePlacement, ChunkPlacement
 from repro.core.problem import CachingProblem, ProblemState
+from repro.obs import get_recorder
 
 ALGORITHM_NAME = "approximation"
 
@@ -58,8 +59,9 @@ def solve_approximation(
     config = config or ApproximationConfig()
     state = problem.new_state()
     placements: List[ChunkPlacement] = []
-    for chunk in problem.chunks:
-        placements.append(place_one_chunk(state, chunk, config))
+    with get_recorder().timer("solve_approximation"):
+        for chunk in problem.chunks:
+            placements.append(place_one_chunk(state, chunk, config))
     placement = CachePlacement(
         problem=problem, chunks=placements, algorithm=ALGORITHM_NAME
     )
@@ -70,9 +72,13 @@ def place_one_chunk(
     state: ProblemState, chunk: int, config: ApproximationConfig
 ) -> ChunkPlacement:
     """Place a single chunk with the current state; commits to storage."""
-    instance = build_confl_instance(state)
-    result = dual_ascent(instance, config.dual)
+    obs = get_recorder()
+    with obs.timer("cost_rebuild"):
+        instance = build_confl_instance(state)
+    with obs.timer("dual_ascent"):
+        result = dual_ascent(instance, config.dual)
     admins = list(result.admins)
+    obs.count("appx.chunks_placed")
     # Freeze-time assignment, or nearest-copy reassignment (Sec. V-A).
     assignment = None if config.reassign_clients else result.assignment
     return commit_chunk(state, chunk, admins, assignment=assignment)
@@ -98,10 +104,11 @@ def solve_approximation_timed(
     state = problem.new_state()
     placements: List[ChunkPlacement] = []
     timings: List[float] = []
-    for chunk in problem.chunks:
-        start = time.perf_counter()
-        placements.append(place_one_chunk(state, chunk, config))
-        timings.append(time.perf_counter() - start)
+    with get_recorder().timer("solve_approximation"):
+        for chunk in problem.chunks:
+            start = time.perf_counter()
+            placements.append(place_one_chunk(state, chunk, config))
+            timings.append(time.perf_counter() - start)
     placement = CachePlacement(
         problem=problem, chunks=placements, algorithm=ALGORITHM_NAME
     )

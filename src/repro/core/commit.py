@@ -16,6 +16,7 @@ from repro.errors import ProblemError
 from repro.graphs.steiner import steiner_tree
 from repro.core.placement import ChunkPlacement, StageCost, edge_key
 from repro.core.problem import ProblemState
+from repro.obs import get_recorder
 
 Node = Hashable
 
@@ -73,6 +74,18 @@ def commit_chunk(
     Returns the :class:`ChunkPlacement`; ``state`` is mutated (storage +
     cost-cache invalidation).
     """
+    with get_recorder().timer("commit"):
+        return _commit_chunk(state, chunk, caches, assignment, tree_edges)
+
+
+def _commit_chunk(
+    state: ProblemState,
+    chunk: int,
+    caches: Iterable[Node],
+    assignment: Optional[Dict[Node, Node]],
+    tree_edges: Optional[frozenset],
+) -> ChunkPlacement:
+    obs = get_recorder()
     problem = state.problem
     cache_list = list(dict.fromkeys(caches))
     for node in cache_list:
@@ -88,7 +101,8 @@ def commit_chunk(
     fairness = sum(state.costs.fairness_cost(i) for i in cache_list)
 
     if assignment is None:
-        assignment = nearest_server_assignment(state, cache_list)
+        with obs.timer("assignment"):
+            assignment = nearest_server_assignment(state, cache_list)
     else:
         allowed = set(cache_list) | {problem.producer}
         for client, server in assignment.items():
@@ -112,9 +126,12 @@ def commit_chunk(
     if tree_edges is None:
         tree_edges = frozenset()
         if cache_list:
-            weighted = state.costs.contention_weighted_graph()
-            tree = steiner_tree(weighted, [problem.producer] + cache_list)
-            tree_edges = frozenset(edge_key(u, v) for u, v, _ in tree.edges())
+            with obs.timer("steiner"):
+                weighted = state.costs.contention_weighted_graph()
+                tree = steiner_tree(weighted, [problem.producer] + cache_list)
+                tree_edges = frozenset(
+                    edge_key(u, v) for u, v, _ in tree.edges()
+                )
     if cache_list:
         dissemination = sum(
             state.costs.edge_cost(*tuple(key)) for key in tree_edges
@@ -131,4 +148,6 @@ def commit_chunk(
     )
     for node in cache_list:
         state.cache(node, chunk)
+    obs.count("commit.chunks")
+    obs.count("commit.copies", len(cache_list))
     return placement

@@ -36,6 +36,7 @@ from repro.errors import ProblemError
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_tree, dijkstra_node_costs, path_from_tree
 from repro.core.storage import StorageState
+from repro.obs import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.resources import BatteryState
@@ -127,6 +128,7 @@ class CostModel:
         self._version += 1
         self._path_cache.clear()
         self._cost_cache.clear()
+        get_recorder().count("costs.invalidations")
 
     def fairness_cost(self, node: Node) -> float:
         """Eq. 1 for ``node``, plus the weighted battery term (footnote 1)
@@ -161,6 +163,7 @@ class CostModel:
             return 0.0
         cached = self._cost_cache.get(source)
         if cached is not None and target in cached:
+            get_recorder().count("costs.row_cache_hits")
             return cached[target]
         costs = self._all_costs_from(source)
         return costs[target]
@@ -189,6 +192,7 @@ class CostModel:
         This is the graph the dissemination Steiner tree is built on
         (objective term 3 of Eq. 3 / the ``M Σ c_e z_en`` term of Eq. 8).
         """
+        get_recorder().count("costs.weighted_graph_builds")
         weighted = Graph()
         weighted.add_nodes(self.graph.nodes())
         for u, v, _ in self.graph.edges():
@@ -201,6 +205,7 @@ class CostModel:
         if tree is None:
             tree = bfs_tree(self.graph, source)
             self._path_cache[source] = tree
+            get_recorder().count("costs.tree_rebuilds")
         return tree
 
     def _contention_tree(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
@@ -212,7 +217,9 @@ class CostModel:
     def _all_costs_from(self, source: Node) -> Dict[Node, float]:
         cached = self._cost_cache.get(source)
         if cached is not None:
+            get_recorder().count("costs.row_cache_hits")
             return cached
+        get_recorder().count("costs.row_builds")
         if self.path_policy == PATH_POLICY_HOPS:
             parents = self._hop_tree(source)
             # Walk the BFS tree accumulating node costs root-to-leaf.

@@ -37,6 +37,7 @@ from typing import Dict, Hashable, List, Optional, Set
 
 from repro.errors import SolverError
 from repro.core.confl import ConFLInstance
+from repro.obs import get_recorder
 
 Node = Hashable
 
@@ -194,9 +195,12 @@ def dual_ascent(
         return int(best)
 
     rounds = 0
+    event_loops = 0
+    direct_freezes = 0
     while len(frozen) < len(clients):
         jump = rounds_to_next_event()
         rounds += jump
+        event_loops += 1
         if rounds > config.max_rounds:
             raise SolverError(
                 f"dual ascent did not converge in {config.max_rounds} rounds"
@@ -213,6 +217,7 @@ def dual_ascent(
             server = cheapest_open_server(j)
             if server is not None:
                 freeze(j, server)
+                direct_freezes += 1
 
         # Lines 19-20: refresh tight sets (β, γ bids) of active clients.
         for j in clients:
@@ -241,6 +246,16 @@ def dual_ascent(
 
     payments = {i: facility_payment(i) for i in facilities}
     span_counts = {i: len(tight[i]) for i in facilities}
+    obs = get_recorder()
+    obs.count("dual_ascent.runs")
+    obs.count("dual_ascent.rounds", rounds)
+    obs.count("dual_ascent.event_loops", event_loops)
+    obs.count("dual_ascent.tight_events", sum(span_counts.values()))
+    obs.count("dual_ascent.span_supported_facilities",
+              sum(1 for c in span_counts.values() if c >= threshold))
+    obs.count("dual_ascent.freezes.direct", direct_freezes)
+    obs.count("dual_ascent.freezes.via_opening", len(frozen) - direct_freezes)
+    obs.count("dual_ascent.admins_opened", len(admins))
     return DualAscentResult(
         admins=admins,
         assignment=dict(target),

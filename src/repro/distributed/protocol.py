@@ -53,6 +53,7 @@ from repro.distributed.messages import (
 )
 from repro.distributed.node import ProtocolNode
 from repro.distributed.simulator import Simulator
+from repro.obs import get_recorder
 
 Node = Hashable
 
@@ -212,6 +213,7 @@ class ChunkSession:
             return
         if node in self._promotion_pending:
             return
+        get_recorder().count("dist.promotion_requests")
         self._promotion_pending.add(node)
         self._promotion_queue.append(node)
         if not self._arbiter_scheduled:
@@ -337,6 +339,14 @@ class ChunkSession:
                 f"chunk {self.chunk}: protocol ended with "
                 f"{len(self.nodes) - len(self._done)} unserved nodes"
             )
+        obs = get_recorder()
+        obs.count("dist.chunk_sessions")
+        obs.count("dist.ticks", self.ticks)
+        obs.count("dist.admins_promoted", len(self.admins))
+        # Per-node queue depth: how many tight clients each candidate had
+        # to track (the candidate-side memory the protocol costs a node).
+        for proto in self.nodes.values():
+            obs.gauge("dist.node_tight_queue", len(proto.tights))
         assignment = {
             node_id: (proto.target if proto.target is not None else self.producer)
             for node_id, proto in self.nodes.items()
@@ -380,11 +390,21 @@ def solve_distributed(
     placements: List[ChunkPlacement] = []
     ticks: List[int] = []
     events = 0
-    for chunk in problem.chunks:
-        session = ChunkSession(state, chunk, config, stats)
-        placements.append(session.run())
-        ticks.append(session.ticks)
-        events += session.sim.events_processed
+    obs = get_recorder()
+    with obs.timer("solve_distributed"):
+        for chunk in problem.chunks:
+            session = ChunkSession(state, chunk, config, stats)
+            with obs.timer("chunk_session"):
+                placements.append(session.run())
+            ticks.append(session.ticks)
+            events += session.sim.events_processed
+    # Mirror the Table II message census into the recorder (totals over
+    # all chunks; recorded once at the end so the radio path stays cheap).
+    for msg_type, count in stats.messages.items():
+        obs.count(f"dist.messages.{msg_type}", count)
+        obs.count(f"dist.transmissions.{msg_type}", stats.transmissions[msg_type])
+    obs.count("dist.messages.total", stats.total_messages())
+    obs.count("dist.transmissions.total", stats.total_transmissions())
     placement = CachePlacement(
         problem=problem, chunks=placements, algorithm=ALGORITHM_NAME
     )

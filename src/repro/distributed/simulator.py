@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import get_recorder
 
 Handler = Callable[[], None]
 
@@ -66,6 +67,7 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._max_queue_depth = 0
 
     @property
     def now(self) -> float:
@@ -82,12 +84,19 @@ class Simulator:
         """Number of queued (non-cancelled) events."""
         return sum(1 for e in self._queue if not e.cancelled)
 
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of the event queue (cancelled events included)."""
+        return self._max_queue_depth
+
     def schedule(self, delay: float, handler: Handler) -> EventHandle:
         """Schedule ``handler`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = _Event(self._now + delay, next(self._seq), handler)
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._max_queue_depth:
+            self._max_queue_depth = len(self._queue)
         return EventHandle(event)
 
     def schedule_at(self, time: float, handler: Handler) -> EventHandle:
@@ -112,20 +121,26 @@ class Simulator:
         """Run until the queue drains, ``until`` is reached, or the event
         budget is exhausted (which raises, as a runaway-protocol guard)."""
         executed = 0
-        while self._queue:
-            next_event = self._peek()
-            if next_event is None:
-                return
-            if until is not None and next_event.time > until:
-                self._now = until
-                return
-            self.step()
-            executed += 1
-            if executed >= max_events:
-                raise SimulationError(
-                    f"simulation exceeded {max_events} events; likely a "
-                    "non-terminating protocol"
-                )
+        try:
+            while self._queue:
+                next_event = self._peek()
+                if next_event is None:
+                    return
+                if until is not None and next_event.time > until:
+                    self._now = until
+                    return
+                self.step()
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; likely a "
+                        "non-terminating protocol"
+                    )
+        finally:
+            if executed:
+                obs = get_recorder()
+                obs.count("sim.events", executed)
+                obs.gauge("sim.max_queue_depth", self._max_queue_depth)
 
     def _peek(self) -> Optional[_Event]:
         while self._queue and self._queue[0].cancelled:

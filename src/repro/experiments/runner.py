@@ -18,6 +18,7 @@ from repro.baselines import solve_contention, solve_greedy_confl, solve_hopcount
 from repro.distributed import solve_distributed
 from repro.exact import solve_exact
 from repro.metrics import placement_gini, placement_percentile_fairness
+from repro.obs import get_recorder
 
 APPX = "Appx"
 DIST = "Dist"
@@ -47,13 +48,16 @@ def run_algorithms(
 ) -> Dict[str, CachePlacement]:
     """Run each named algorithm on ``problem``; placements are validated."""
     placements: Dict[str, CachePlacement] = {}
+    obs = get_recorder()
     for name in algorithms:
         solver = SOLVERS.get(name)
         if solver is None:
             raise KeyError(
                 f"unknown algorithm {name!r}; choose from {sorted(SOLVERS)}"
             )
-        placement = solver(problem)
+        with obs.timer(f"solver.{name}"):
+            placement = solver(problem)
+        obs.count(f"runner.solves.{name}")
         placement.validate()
         placements[name] = placement
     return placements

@@ -1,0 +1,32 @@
+"""Observability: counters, phase timers, gauges, and the bench suite.
+
+The instrumentation substrate every performance claim rests on:
+
+* :class:`Recorder` — named counters, hierarchical (context-manager)
+  phase timers, gauge snapshots; dumps to JSON.
+* :class:`NullRecorder` — the zero-overhead default; hot paths are
+  always instrumented but pay ~nothing until a real recorder is
+  installed.
+* :func:`get_recorder` / :func:`set_recorder` / :func:`use_recorder` —
+  the active-recorder switch.
+
+The benchmark suite lives in :mod:`repro.obs.bench` (imported lazily by
+the CLI — it depends on the solver layers, which themselves import this
+package, so it must stay out of this namespace to avoid a cycle).
+"""
+
+from repro.obs.recorder import (
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "NullRecorder",
+    "Recorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+]

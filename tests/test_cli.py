@@ -26,6 +26,22 @@ class TestParser:
         )
         assert args.grid == 4
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.output == "BENCH.json"
+        assert args.scenario is None
+        assert args.algorithms == "appx,dist"
+        assert args.repeats == 3
+
+    def test_bench_custom_args(self):
+        args = build_parser().parse_args(
+            ["bench", "-o", "BENCH_PR1.json", "--scenario", "small",
+             "--scenario", "large", "--repeats", "1"]
+        )
+        assert args.output == "BENCH_PR1.json"
+        assert args.scenario == ["small", "large"]
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -70,6 +86,58 @@ class TestShowMap:
         assert main(["solve", "--grid", "4", "--chunks", "1",
                      "--algorithm", "greedy"]) == 0
         assert "Greedy" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_custom_nodes_scenario_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--nodes", "12", "--repeats", "1",
+                     "--algorithms", "appx", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro-bench/1"
+        scenario = data["scenarios"][0]
+        assert scenario["network"]["nodes"] == 12
+        assert "Appx" in scenario["algorithms"]
+        printed = capsys.readouterr().out
+        assert "custom-12" in printed
+        assert str(out) in printed
+
+    def test_unknown_scenario_rejected(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--scenario", "galactic",
+                     "-o", str(out)]) == 2
+        assert not out.exists()
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_algorithm_rejected(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--algorithms", "appx,bogus",
+                     "-o", str(out)]) == 2
+        assert not out.exists()
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err and "bogus" in err
+
+    def test_empty_algorithms_rejected(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--algorithms", ",", "-o", str(out)]) == 2
+        assert not out.exists()
+        assert "no algorithms" in capsys.readouterr().err
+
+    def test_zero_repeats_rejected(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--nodes", "10", "--repeats", "0",
+                     "-o", str(out)]) == 2
+        assert not out.exists()
+        assert "--repeats" in capsys.readouterr().err
+
+    def test_nodes_and_scenario_conflict(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--nodes", "10", "--scenario", "small",
+                     "-o", str(out)]) == 2
+        assert not out.exists()
+        assert "mutually exclusive" in capsys.readouterr().err
 
 
 def test_experiment_all_accepted():

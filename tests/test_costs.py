@@ -134,6 +134,19 @@ class TestCostModel:
         with pytest.raises(ProblemError):
             CostModel(grid4, storage, path_policy="teleport")
 
+    def test_invalidate_drops_both_caches(self, model):
+        # Regression: a stale _path_cache or _cost_cache after a storage
+        # mutation would silently serve pre-mutation contention costs.
+        model.contention_cost(0, 2)
+        model.path(0, 15)
+        assert model._path_cache and model._cost_cache
+        model.storage.add(1, 0)
+        model.invalidate()
+        assert model._path_cache == {}
+        assert model._cost_cache == {}
+        # Fresh lookups rebuild from the mutated storage, not the caches.
+        assert model.contention_cost(0, 2) == 2 + 3 * 2 + 3
+
 
 class TestContentionPathPolicy:
     def test_contention_policy_can_beat_hops(self):

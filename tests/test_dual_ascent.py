@@ -176,3 +176,36 @@ class TestDualInvariants:
         fine = dual_ascent(instance, DualAscentConfig(step=1.0))
         assert coarse.admins == fine.admins
         assert coarse.assignment == fine.assignment
+
+
+class TestWorkedExample:
+    """Pin the 5-node path trace documented in docs/ALGORITHMS.md."""
+
+    def _instance(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            g.add_edge(a, b)
+        problem = CachingProblem(graph=g, producer=0, num_chunks=1)
+        return build_confl_instance(problem.new_state())
+
+    def test_documented_outcome(self):
+        result = dual_ascent(self._instance())
+        assert result.admins == [3]
+        assert result.rounds == 4
+        assert result.assignment == {1: 0, 2: 3, 3: 3, 4: 3}
+        assert result.alpha == {1: 3.0, 2: 4.0, 3: 4.0, 4: 4.0}
+        assert result.payments[3] == pytest.approx(5.0)
+        assert result.span_counts[3] == 3
+
+    def test_documented_counters(self):
+        from repro.obs import Recorder, use_recorder
+
+        rec = Recorder()
+        with use_recorder(rec):
+            dual_ascent(self._instance())
+        assert rec.counter("dual_ascent.rounds") == 4
+        assert rec.counter("dual_ascent.freezes.direct") == 1
+        assert rec.counter("dual_ascent.freezes.via_opening") == 3
+        assert rec.counter("dual_ascent.admins_opened") == 1
