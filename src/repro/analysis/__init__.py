@@ -1,0 +1,37 @@
+"""Static analysis and runtime contracts for the :mod:`repro` codebase.
+
+Three coordinated passes keep the architecture documented in
+``docs/ARCHITECTURE.md`` mechanically true (see ``docs/LINTING.md``):
+
+* :mod:`repro.analysis.imports` — an AST import walker checked against
+  the machine-readable layering spec ``docs/layering.toml``: no upward
+  imports, no cycles, ``obs/recorder.py`` stays stdlib-only, ``core/``
+  never touches ``experiments/`` or the CLI.
+* :mod:`repro.analysis.hygiene` — repo-tuned code-hygiene rules:
+  unseeded RNG use in the deterministic layers, mutable default
+  arguments, float ``==`` in cost/dual-ascent code, bare ``except``,
+  wall-clock reads outside ``obs/``.
+* :mod:`repro.analysis.contracts` — toggleable runtime assertions
+  (``REPRO_SANITIZE=1``) wired into the dual ascent, the shared commit
+  path, and the distributed protocol.
+
+The first two run via ``repro lint`` (a blocking CI gate); the third is
+enabled for the whole test suite by ``tests/conftest.py``.
+
+This package sits at the bottom of the layering (stdlib +
+:mod:`repro.errors` only) so :mod:`repro.core` can import the contracts
+without cycles.
+"""
+
+from repro.analysis.linter import LintReport, lint_package, run_lint
+from repro.analysis.report import Violation
+from repro.analysis.spec import LayeringSpec, load_spec
+
+__all__ = [
+    "LayeringSpec",
+    "LintReport",
+    "Violation",
+    "lint_package",
+    "load_spec",
+    "run_lint",
+]

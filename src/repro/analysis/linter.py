@@ -1,0 +1,148 @@
+"""The ``repro lint`` orchestrator.
+
+Walks a package tree, parses every source file once, runs the
+architecture pass (:mod:`repro.analysis.imports`) and the hygiene pass
+(:mod:`repro.analysis.hygiene`), filters ``# repro: noqa=<rule>``
+suppressions, and renders one per-rule report.
+
+Defaults resolve against the installed package: the lint target is the
+``repro`` package directory itself and the spec is ``docs/layering.toml``
+found by walking up from the package to the repository root, so plain
+``repro lint`` works from any working directory in a checkout.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.hygiene import check_hygiene
+from repro.analysis.imports import SourceModule, check_architecture
+from repro.analysis.report import Violation, filter_suppressed, render_report
+from repro.analysis.spec import (
+    DEFAULT_SPEC_RELPATH,
+    LayeringSpec,
+    load_spec,
+)
+from repro.errors import ProblemError
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: Tuple[Violation, ...]
+    files_checked: int
+    suppressed: int = 0
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        body = render_report(
+            list(self.violations), self.files_checked, self.suppressed
+        )
+        if self.notes:
+            body = "\n".join([*self.notes, body])
+        return body
+
+
+def load_modules(
+    package_dir: Union[str, Path], package_name: Optional[str] = None
+) -> List[SourceModule]:
+    """Parse every ``*.py`` under ``package_dir`` into SourceModules.
+
+    Module names are rooted at ``package_name`` (default: the directory
+    name), with ``__init__.py`` files named after their package.
+    """
+    root = Path(package_dir).resolve()
+    if not root.is_dir():
+        raise ProblemError(f"lint target {root} is not a directory")
+    name = package_name or root.name
+    modules: List[SourceModule] = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        relative = path.relative_to(root)
+        parts = [name, *relative.with_suffix("").parts]
+        is_package = parts[-1] == "__init__"
+        if is_package:
+            parts = parts[:-1]
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            raise ProblemError(
+                f"cannot lint {path}: syntax error on line {exc.lineno}"
+            ) from exc
+        modules.append(
+            SourceModule(
+                name=".".join(parts),
+                path=str(path),
+                tree=tree,
+                lines=tuple(text.splitlines()),
+                is_package=is_package,
+            )
+        )
+    return modules
+
+
+def lint_modules(
+    modules: Sequence[SourceModule], spec: LayeringSpec
+) -> LintReport:
+    """Run both passes over already-parsed modules."""
+    violations: List[Violation] = []
+    violations.extend(check_architecture(list(modules), spec))
+    violations.extend(check_hygiene(list(modules), spec))
+    lines_by_path: Dict[str, Sequence[str]] = {
+        module.path: module.lines for module in modules
+    }
+    kept, suppressed = filter_suppressed(violations, lines_by_path)
+    kept.sort(key=lambda v: (v.rule, v.path, v.line))
+    return LintReport(
+        violations=tuple(kept),
+        files_checked=len(modules),
+        suppressed=suppressed,
+    )
+
+
+def lint_package(
+    package_dir: Union[str, Path],
+    spec: LayeringSpec,
+    package_name: Optional[str] = None,
+) -> LintReport:
+    """Lint one package directory against ``spec``."""
+    return lint_modules(load_modules(package_dir, package_name), spec)
+
+
+def find_spec_path(start: Union[str, Path]) -> Optional[Path]:
+    """Walk up from ``start`` looking for ``docs/layering.toml``."""
+    current = Path(start).resolve()
+    for candidate in [current, *current.parents]:
+        spec_path = candidate / DEFAULT_SPEC_RELPATH
+        if spec_path.is_file():
+            return spec_path
+    return None
+
+
+def run_lint(
+    package_dir: Optional[Union[str, Path]] = None,
+    spec_path: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Lint with installed-package defaults (what ``repro lint`` runs)."""
+    if package_dir is None:
+        package_dir = Path(__file__).resolve().parent.parent
+    package_dir = Path(package_dir)
+    if spec_path is None:
+        spec_path = find_spec_path(package_dir)
+        if spec_path is None:
+            raise ProblemError(
+                f"no {DEFAULT_SPEC_RELPATH} found above {package_dir}; "
+                "pass --spec explicitly"
+            )
+    spec = load_spec(spec_path)
+    return lint_package(package_dir, spec)

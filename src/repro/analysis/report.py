@@ -1,0 +1,101 @@
+"""Violation records, ``# repro: noqa`` suppression, and report rendering.
+
+Every linter pass produces :class:`Violation` rows; the orchestrator in
+:mod:`repro.analysis.linter` filters suppressed rows and renders the
+per-rule report that ``repro lint`` prints.
+
+Suppression: a violation is dropped when the *flagged line* carries a
+``# repro: noqa=<rule>[,<rule>...]`` comment naming its rule, or a bare
+``# repro: noqa`` (all rules).  Suppressions are line-scoped on purpose
+— blanket file-level opt-outs belong in ``docs/layering.toml``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*=\s*(?P<rules>[\w,\s-]+))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def noqa_rules(source_line: str) -> Optional[Set[str]]:
+    """Rules suppressed on this line.
+
+    Returns ``None`` when the line has no ``repro: noqa`` marker, an
+    empty set for a bare marker (suppress everything), or the named
+    rule set.
+    """
+    match = _NOQA_RE.search(source_line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return set()
+    return {part.strip() for part in rules.split(",") if part.strip()}
+
+
+def filter_suppressed(
+    violations: Sequence[Violation],
+    lines_by_path: Dict[str, Sequence[str]],
+) -> Tuple[List[Violation], int]:
+    """Drop violations suppressed by a line-scoped noqa marker.
+
+    Returns ``(kept, suppressed_count)``.
+    """
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        lines = lines_by_path.get(violation.path)
+        rules: Optional[Set[str]] = None
+        if lines is not None and 1 <= violation.line <= len(lines):
+            rules = noqa_rules(lines[violation.line - 1])
+        if rules is not None and (not rules or violation.rule in rules):
+            suppressed += 1
+            continue
+        kept.append(violation)
+    return kept, suppressed
+
+
+def render_report(
+    violations: Sequence[Violation],
+    files_checked: int,
+    suppressed: int = 0,
+) -> str:
+    """The human-readable per-rule report ``repro lint`` prints."""
+    lines: List[str] = []
+    if not violations:
+        summary = f"repro lint: clean ({files_checked} files checked"
+        if suppressed:
+            summary += f", {suppressed} suppressed"
+        lines.append(summary + ")")
+        return "\n".join(lines)
+    by_rule: Dict[str, List[Violation]] = {}
+    for violation in violations:
+        by_rule.setdefault(violation.rule, []).append(violation)
+    for rule in sorted(by_rule):
+        rows = by_rule[rule]
+        lines.append(f"rule {rule} — {len(rows)} violation(s):")
+        for violation in sorted(rows, key=lambda v: (v.path, v.line)):
+            lines.append(f"  {violation.render()}")
+    summary = (
+        f"repro lint: {len(violations)} violation(s) across "
+        f"{len(by_rule)} rule(s) in {files_checked} files"
+    )
+    if suppressed:
+        summary += f" ({suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)

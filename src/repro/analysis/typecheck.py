@@ -1,0 +1,81 @@
+"""The scoped ``mypy --strict`` pass behind ``repro lint --types``.
+
+Only the typed core is checked — :mod:`repro.errors`,
+:mod:`repro.obs.recorder`, and :mod:`repro.analysis` itself (the modules
+shipping under the ``py.typed`` marker) — with ``--follow-imports=skip``
+so the numeric solver layers stay out of scope until they are annotated.
+
+mypy ships in the ``dev`` extra; when it is not installed the pass is
+skipped with a note and exit code 0, so ``repro lint --types`` degrades
+gracefully on minimal environments.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+#: Paths (relative to the source root holding ``repro/``) under strict
+#: checking.  Extend this list as more modules gain full annotations.
+TYPED_TARGETS: Tuple[str, ...] = (
+    "repro/errors.py",
+    "repro/obs/recorder.py",
+    "repro/analysis",
+)
+
+_MYPY_FLAGS: Tuple[str, ...] = (
+    "--strict",
+    "--follow-imports=skip",
+    "--no-error-summary",
+    "--no-incremental",
+)
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_typecheck(
+    src_root: Optional[Union[str, Path]] = None,
+) -> Tuple[int, str]:
+    """Run the scoped strict pass; returns ``(exit_code, output)``.
+
+    ``src_root`` is the directory containing the ``repro`` package
+    (default: derived from this installed module's location).
+    """
+    if src_root is None:
+        src_root = Path(__file__).resolve().parent.parent.parent
+    src_root = Path(src_root)
+    missing = [t for t in TYPED_TARGETS if not (src_root / t).exists()]
+    if missing:
+        return 2, (
+            "types: cannot locate typed targets "
+            f"{missing!r} under {src_root}"
+        )
+    if not mypy_available():
+        return 0, (
+            "types: mypy is not installed; skipping the scoped --strict "
+            "pass (pip install 'repro[dev]' to enable it)"
+        )
+    command: List[str] = [
+        sys.executable,
+        "-m",
+        "mypy",
+        *_MYPY_FLAGS,
+        *TYPED_TARGETS,
+    ]
+    proc = subprocess.run(
+        command,
+        cwd=src_root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    output = (proc.stdout + proc.stderr).strip()
+    if proc.returncode == 0:
+        targets = ", ".join(TYPED_TARGETS)
+        return 0, f"types: mypy --strict clean on {targets}"
+    return proc.returncode, f"types: mypy --strict failed\n{output}"

@@ -10,7 +10,7 @@ cost the paper's algorithms save *while staying fair*.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.core.commit import commit_chunk
 from repro.core.placement import CachePlacement, ChunkPlacement
@@ -18,13 +18,15 @@ from repro.core.problem import CachingProblem
 
 ALGORITHM_NAME = "random"
 
+DEFAULT_SEED = 2017
+
 
 def solve_random(
     problem: CachingProblem,
     caches_per_chunk: int = 5,
-    seed: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
 ) -> CachePlacement:
-    """Place every chunk on up to ``caches_per_chunk`` random nodes."""
+    """Place every chunk on up to ``caches_per_chunk`` seeded-random nodes."""
     if caches_per_chunk < 0:
         raise ValueError("caches_per_chunk must be >= 0")
     rng = random.Random(seed)

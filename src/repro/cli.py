@@ -20,6 +20,11 @@ Run the instrumented performance baseline and write it as JSON::
     repro bench --output BENCH_PR1.json
     repro bench --nodes 40 --repeats 1 -o quick.json
 
+Check the architecture/hygiene rules (and optionally types)::
+
+    repro lint
+    repro lint --types
+
 List everything available::
 
     repro list
@@ -108,6 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeats", type=int, default=3,
         help="runs per (scenario, algorithm); the fastest is kept",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="check architecture layering, code hygiene, and (optionally) "
+        "types",
+    )
+    lint.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="layering spec (default: docs/layering.toml found by walking "
+        "up from the package)",
+    )
+    lint.add_argument(
+        "--package", default=None, metavar="DIR",
+        help="package directory to lint (default: the installed repro "
+        "package)",
+    )
+    lint.add_argument(
+        "--types", action="store_true",
+        help="also run mypy --strict over the typed core "
+        "(skipped with a note if mypy is not installed)",
     )
 
     sub.add_parser("list", help="list experiments and algorithms")
@@ -217,6 +243,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis package is only needed for this command.
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+    from repro.analysis.typecheck import run_typecheck
+
+    report = run_lint(
+        package_dir=Path(args.package) if args.package else None,
+        spec_path=Path(args.spec) if args.spec else None,
+    )
+    print(report.render())
+    status = 0 if report.ok else 2
+    if args.types:
+        src_root = Path(args.package).parent if args.package else None
+        type_status, output = run_typecheck(src_root=src_root)
+        print()
+        print(output.rstrip() or "repro lint --types: clean")
+        status = status or type_status
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -226,6 +274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "list":
         print("experiments:", ", ".join(sorted(REGISTRY)))
         print("algorithms:", ", ".join(sorted(_ALGO_ALIASES)))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional
 
 from repro.errors import ProblemError
+from repro.analysis import contracts
 from repro.graphs.steiner import steiner_tree
 from repro.core.placement import ChunkPlacement, StageCost, edge_key
 from repro.core.problem import ProblemState
@@ -88,6 +89,12 @@ def _commit_chunk(
     obs = get_recorder()
     problem = state.problem
     cache_list = list(dict.fromkeys(caches))
+    sanitize = contracts.sanitize_enabled()
+    used_before = (
+        {node: state.storage.used(node) for node in problem.graph.nodes()}
+        if sanitize
+        else None
+    )
     for node in cache_list:
         if node not in problem.graph:
             raise ProblemError(f"cache node {node!r} is not in the graph")
@@ -148,6 +155,30 @@ def _commit_chunk(
     )
     for node in cache_list:
         state.cache(node, chunk)
+    if sanitize and used_before is not None:
+        contracts.check_storage_monotonic(
+            chunk=chunk,
+            used_before=used_before,
+            used_after={
+                node: state.storage.used(node)
+                for node in problem.graph.nodes()
+            },
+            cached_nodes=cache_list,
+        )
+        contracts.check_chunk_commit(
+            chunk=chunk,
+            producer=problem.producer,
+            clients=problem.clients,
+            caches=cache_list,
+            assignment=placement.assignment,
+            tree_edges=placement.tree_edges,
+            has_edge=problem.graph.has_edge,
+            stage_costs={
+                "fairness": placement.stage_cost.fairness,
+                "access": placement.stage_cost.access,
+                "dissemination": placement.stage_cost.dissemination,
+            },
+        )
     obs.count("commit.chunks")
     obs.count("commit.copies", len(cache_list))
     return placement

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set
 
 from repro.errors import SolverError
+from repro.analysis import contracts
 from repro.core.confl import ConFLInstance
 from repro.obs import get_recorder
 
@@ -246,6 +247,21 @@ def dual_ascent(
 
     payments = {i: facility_payment(i) for i in facilities}
     span_counts = {i: len(tight[i]) for i in facilities}
+    if contracts.sanitize_enabled():
+        contracts.check_dual_solution(
+            producer=producer,
+            clients=clients,
+            facilities=facilities,
+            open_cost=open_cost,
+            connect_cost=connect,
+            admins=admins,
+            assignment=target,
+            alpha=alpha,
+            payments=payments,
+            span_counts=span_counts,
+            step=config.step,
+            threshold=threshold,
+        )
     obs = get_recorder()
     obs.count("dual_ascent.runs")
     obs.count("dual_ascent.rounds", rounds)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set
 
 from repro.errors import SimulationError
+from repro.analysis import contracts
 from repro.graphs.traversal import hop_distances
 from repro.core.commit import commit_chunk
 from repro.core.placement import CachePlacement, ChunkPlacement
@@ -324,6 +325,12 @@ class ChunkSession:
     # ------------------------------------------------------------------
     def run(self) -> ChunkPlacement:
         """Run the protocol for this chunk and commit the placement."""
+        sanitize = contracts.sanitize_enabled()
+        census_before = (
+            (dict(self.stats.messages), dict(self.stats.transmissions))
+            if sanitize
+            else None
+        )
         self._flood_npi()
         # After NPI propagates, cacheable candidates announce themselves.
         for node in self.nodes:
@@ -338,6 +345,20 @@ class ChunkSession:
             raise SimulationError(
                 f"chunk {self.chunk}: protocol ended with "
                 f"{len(self.nodes) - len(self._done)} unserved nodes"
+            )
+        if sanitize and census_before is not None:
+            from repro.distributed.messages import ALL_TYPES
+
+            contracts.check_message_census(
+                chunk=self.chunk,
+                known_types=ALL_TYPES,
+                messages_before=census_before[0],
+                messages_after=dict(self.stats.messages),
+                transmissions_before=census_before[1],
+                transmissions_after=dict(self.stats.transmissions),
+                num_nodes=len(self.nodes),
+                num_admins=len(self.admins),
+                hop_limit=self.config.hop_limit,
             )
         obs = get_recorder()
         obs.count("dist.chunk_sessions")

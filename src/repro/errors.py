@@ -69,6 +69,17 @@ class CapacityError(ProblemError):
     """Raised when cache placement exceeds a node's storage capacity."""
 
 
+class InvariantError(ReproError):
+    """Raised by the :mod:`repro.analysis.contracts` sanitizer when a
+    runtime invariant (dual feasibility, storage monotonicity, message
+    census conservation) is violated.  Only ever raised when
+    ``REPRO_SANITIZE=1``."""
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(f"[{rule}] {message}")
+        self.rule = rule
+
+
 class SimulationError(ReproError):
     """Raised for errors inside the discrete-event simulator."""
 

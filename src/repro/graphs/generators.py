@@ -24,6 +24,10 @@ from repro.errors import GraphError
 from repro.graphs.components import connected_components, is_connected
 from repro.graphs.graph import Graph
 
+#: Default RNG seed (the paper's evaluation-year convention); every
+#: generator is deterministic even when the caller passes no seed.
+DEFAULT_SEED = 2017
+
 
 def grid_graph(rows: int, cols: Optional[int] = None) -> Graph:
     """A ``rows × cols`` 4-neighbor grid with integer row-major labels.
@@ -57,7 +61,7 @@ def grid_coordinates(rows: int, cols: Optional[int] = None) -> dict:
 def random_geometric_graph(
     num_nodes: int,
     radius: float,
-    seed: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
     area: float = 1.0,
     ensure_connected: bool = True,
     max_attempts: int = 200,
@@ -102,7 +106,7 @@ def random_geometric_graph(
 
 
 def connected_random_network(
-    num_nodes: int, seed: Optional[int] = None, degree_target: float = 5.0
+    num_nodes: int, seed: int = DEFAULT_SEED, degree_target: float = 5.0
 ) -> Tuple[Graph, dict]:
     """A connected random network with a radius auto-sized to the node count.
 
@@ -189,7 +193,7 @@ def balanced_tree(branching: int, depth: int) -> Graph:
 
 
 def erdos_renyi_connected(
-    num_nodes: int, edge_prob: float, seed: Optional[int] = None
+    num_nodes: int, edge_prob: float, seed: int = DEFAULT_SEED
 ) -> Graph:
     """A connected Erdős–Rényi graph (extra edges added to join components).
 

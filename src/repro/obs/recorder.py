@@ -36,7 +36,8 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Union
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Type, Union
 
 Number = Union[int, float]
 
@@ -45,6 +46,8 @@ class _Timer:
     """Context manager measuring one phase; created by :meth:`Recorder.timer`."""
 
     __slots__ = ("_recorder", "_name", "_start")
+
+    _start: float
 
     def __init__(self, recorder: "Recorder", name: str) -> None:
         self._recorder = recorder
@@ -55,7 +58,12 @@ class _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         elapsed = time.perf_counter() - self._start
         self._recorder._pop(elapsed)
 
@@ -68,7 +76,12 @@ class _NullTimer:
     def __enter__(self) -> "_NullTimer":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         return None
 
 
@@ -154,7 +167,7 @@ class Recorder:
         stat = self._timers.get(path)
         return float(stat[0]) if stat is not None else 0.0
 
-    def dump(self) -> dict:
+    def dump(self) -> Dict[str, Any]:
         """All recorded data as a JSON-safe dict.
 
         Schema::

@@ -64,11 +64,14 @@ class OnlineWorkload:
         return len(self.events)
 
 
+DEFAULT_SEED = 2017
+
+
 def generate_workload(
     num_chunks: int,
     horizon: float,
     mean_lifetime: float,
-    seed: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
     inter_arrival: Optional[float] = None,
 ) -> OnlineWorkload:
     """Seeded publish/expire stream.
@@ -76,7 +79,8 @@ def generate_workload(
     Chunks are published at (roughly) regular intervals over ``horizon``
     with exponential jitter, and each lives an exponential lifetime with
     the given mean; expiries beyond the horizon are dropped (the chunk
-    simply outlives the experiment).
+    simply outlives the experiment).  The stream is seeded (fixed default)
+    so every workload is reproducible.
     """
     if num_chunks < 0:
         raise ProblemError("num_chunks must be >= 0")

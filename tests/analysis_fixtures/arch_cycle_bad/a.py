@@ -1,0 +1,3 @@
+from arch_cycle_bad import b
+
+VALUE = 1

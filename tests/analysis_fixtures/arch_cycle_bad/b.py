@@ -1,0 +1,3 @@
+from arch_cycle_bad import a
+
+VALUE = a.VALUE

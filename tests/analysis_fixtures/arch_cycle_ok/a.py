@@ -1,0 +1,3 @@
+from arch_cycle_ok import b
+
+VALUE = b.VALUE

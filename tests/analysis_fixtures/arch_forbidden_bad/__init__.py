@@ -1,0 +1,1 @@
+"""Forbidden-import fixture package (failing)."""

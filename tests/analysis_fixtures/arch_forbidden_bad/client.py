@@ -1,0 +1,3 @@
+from arch_forbidden_bad import secret
+
+VALUE = secret.VALUE

@@ -1,0 +1,3 @@
+import math
+
+VALUE = math.pi

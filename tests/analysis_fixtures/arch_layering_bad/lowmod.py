@@ -1,0 +1,3 @@
+from arch_layering_bad import highmod
+
+VALUE = highmod.VALUE

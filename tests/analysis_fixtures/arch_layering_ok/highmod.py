@@ -1,0 +1,3 @@
+from arch_layering_ok import lowmod
+
+VALUE = lowmod.VALUE

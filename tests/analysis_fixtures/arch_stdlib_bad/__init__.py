@@ -1,0 +1,1 @@
+"""Stdlib-only fixture package (failing: third-party import)."""

@@ -1,0 +1,3 @@
+import numpy
+
+VALUE = numpy.__name__

@@ -1,0 +1,4 @@
+import json
+import math
+
+VALUE = json.dumps(math.pi)

@@ -1,0 +1,8 @@
+"""Failing fixture for the bare-except rule: catches everything."""
+
+
+def parse(text: str) -> int:
+    try:
+        return int(text)
+    except:
+        return 0

@@ -1,0 +1,8 @@
+"""Passing fixture for the bare-except rule: a typed handler."""
+
+
+def parse(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        return 0

@@ -1,0 +1,9 @@
+"""Failing fixture for the float-equality rule: exact float compares."""
+
+
+def paid_exactly(paid: float) -> bool:
+    return paid == 1.0
+
+
+def unpaid(paid: float) -> bool:
+    return paid != 0.0

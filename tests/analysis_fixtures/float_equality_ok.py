@@ -1,0 +1,7 @@
+"""Passing fixture for the float-equality rule: tolerance comparison."""
+
+EPS = 1e-9
+
+
+def paid_exactly(paid: float, cost: float) -> bool:
+    return abs(paid - cost) <= EPS

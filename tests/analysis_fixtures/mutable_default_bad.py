@@ -1,0 +1,6 @@
+"""Failing fixture for the mutable-default rule: shared mutable defaults."""
+
+
+def gather(values=[], *, table={}):
+    values.append(len(table))
+    return values

@@ -1,0 +1,8 @@
+"""Passing fixture for the mutable-default rule: defaults are immutable."""
+
+from typing import List, Optional
+
+
+def accumulate(values: Optional[List[int]] = None, start: int = 0) -> int:
+    items = list(values) if values is not None else []
+    return start + sum(items)

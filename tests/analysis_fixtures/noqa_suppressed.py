@@ -1,0 +1,8 @@
+"""Fixture for line-scoped suppression: the violation carries a noqa."""
+
+
+def parse(text: str) -> int:
+    try:
+        return int(text)
+    except:  # repro: noqa=bare-except
+        return 0

@@ -1,0 +1,13 @@
+"""Failing fixture for the unseeded-random rule: every unseeded idiom."""
+
+import random
+from random import shuffle
+
+import numpy as np
+
+
+def pick(items, seed=None):
+    rng = random.Random()
+    shuffle(items)
+    noise = np.random.rand()
+    return random.choice(items), rng, noise

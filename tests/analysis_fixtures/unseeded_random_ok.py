@@ -1,0 +1,10 @@
+"""Passing fixture for the unseeded-random rule: explicit seeds only."""
+
+import random
+
+DEFAULT_SEED = 2017
+
+
+def pick(items, seed: int = DEFAULT_SEED):
+    rng = random.Random(seed)
+    return rng.choice(items)

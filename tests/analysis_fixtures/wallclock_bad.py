@@ -1,0 +1,9 @@
+"""Failing fixture for the wallclock rule: raw time.time() reads."""
+
+import time
+from time import time as now
+
+
+def measure() -> float:
+    start = time.time()
+    return now() - start

@@ -1,0 +1,8 @@
+"""Passing fixture for the wallclock rule: monotonic clock only."""
+
+import time
+
+
+def measure() -> float:
+    start = time.perf_counter()
+    return time.perf_counter() - start

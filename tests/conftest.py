@@ -1,6 +1,15 @@
-"""Shared fixtures: canonical graphs and caching problems."""
+"""Shared fixtures: canonical graphs and caching problems.
+
+The whole suite runs with the :mod:`repro.analysis.contracts` sanitizer
+enabled (unless the caller already set ``REPRO_SANITIZE``), so every
+dual ascent, chunk commit, and protocol session is invariant-checked.
+"""
 
 from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_SANITIZE", "1")
 
 import pytest
 

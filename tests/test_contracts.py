@@ -1,0 +1,226 @@
+"""Tests for the ``REPRO_SANITIZE`` runtime invariant sanitizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import contracts
+from repro.core import DualAscentConfig, build_confl_instance, dual_ascent
+from repro.errors import InvariantError
+from repro.workloads import grid_problem
+
+
+class TestToggle:
+    def test_enabled_values(self, monkeypatch):
+        for value, expected in [
+            ("1", True),
+            ("true", True),
+            ("0", False),
+            ("", False),
+        ]:
+            monkeypatch.setenv(contracts.ENV_VAR, value)
+            assert contracts.sanitize_enabled() is expected
+        monkeypatch.delenv(contracts.ENV_VAR)
+        assert contracts.sanitize_enabled() is False
+
+
+@pytest.fixture
+def dual_result():
+    instance = build_confl_instance(grid_problem(4, num_chunks=1).new_state())
+    config = DualAscentConfig()
+    result = dual_ascent(instance, config)
+    return instance, config, result
+
+
+def check_result(instance, config, result, **overrides):
+    kwargs = dict(
+        producer=instance.producer,
+        clients=list(instance.clients),
+        facilities=list(result.payments),
+        open_cost=instance.open_cost,
+        connect_cost=instance.connect_cost,
+        admins=result.admins,
+        assignment=result.assignment,
+        alpha=result.alpha,
+        payments=result.payments,
+        span_counts=result.span_counts,
+        step=config.step,
+        threshold=config.resolved_threshold(instance),
+    )
+    kwargs.update(overrides)
+    contracts.check_dual_solution(**kwargs)
+
+
+class TestDualFeasibility:
+    def test_real_solution_passes(self, dual_result):
+        check_result(*dual_result)
+
+    def test_corrupted_assignment_caught(self, dual_result):
+        instance, config, result = dual_result
+        # Freeze some client onto a non-ADMIN, non-producer node: the
+        # kind of bug a broken freeze handler would introduce.
+        corrupt = dict(result.assignment)
+        client = next(iter(corrupt))
+        closed = next(
+            node
+            for node in instance.facilities
+            if node not in set(result.admins) and node != instance.producer
+        )
+        corrupt[client] = closed
+        with pytest.raises(InvariantError) as excinfo:
+            check_result(*dual_result, assignment=corrupt)
+        assert excinfo.value.rule == "dual-feasibility"
+
+    def test_underpaid_admin_caught(self, dual_result):
+        instance, config, result = dual_result
+        if not result.admins:
+            pytest.skip("instance opened no facilities")
+        broke = dict(result.payments)
+        broke[result.admins[0]] = -1.0
+        with pytest.raises(InvariantError):
+            check_result(*dual_result, payments=broke)
+
+    def test_unaffordable_connection_caught(self, dual_result):
+        instance, config, result = dual_result
+        cheated = dict(result.alpha)
+        client = next(iter(cheated))
+        cheated[client] = -5.0
+        with pytest.raises(InvariantError):
+            check_result(*dual_result, alpha=cheated)
+
+    def test_producer_cannot_be_admin(self, dual_result):
+        instance, config, result = dual_result
+        with pytest.raises(InvariantError):
+            check_result(
+                *dual_result,
+                admins=list(result.admins) + [instance.producer],
+            )
+
+
+class TestStorageMonotonic:
+    def test_exact_growth_passes(self):
+        contracts.check_storage_monotonic(
+            chunk=0,
+            used_before={1: 0, 2: 3},
+            used_after={1: 1, 2: 3},
+            cached_nodes=[1],
+        )
+
+    def test_shrinking_storage_caught(self):
+        with pytest.raises(InvariantError) as excinfo:
+            contracts.check_storage_monotonic(
+                chunk=0,
+                used_before={1: 2},
+                used_after={1: 1},
+                cached_nodes=[],
+            )
+        assert excinfo.value.rule == "storage-monotonic"
+
+    def test_phantom_copy_caught(self):
+        with pytest.raises(InvariantError):
+            contracts.check_storage_monotonic(
+                chunk=0,
+                used_before={1: 0, 2: 0},
+                used_after={1: 1, 2: 1},
+                cached_nodes=[1],
+            )
+
+
+class TestChunkCommit:
+    def commit_kwargs(self, **overrides):
+        kwargs = dict(
+            chunk=0,
+            producer=0,
+            clients=[1, 2],
+            caches=[1],
+            assignment={1: 1, 2: 0},
+            tree_edges=[frozenset({0, 1})],
+            has_edge=lambda u, v: True,
+            stage_costs={"fairness": 1.0, "access": 2.0},
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_feasible_commit_passes(self):
+        contracts.check_chunk_commit(**self.commit_kwargs())
+
+    def test_disconnected_tree_caught(self):
+        with pytest.raises(InvariantError) as excinfo:
+            contracts.check_chunk_commit(
+                **self.commit_kwargs(tree_edges=[])
+            )
+        assert "constraint 6" in str(excinfo.value)
+
+    def test_server_without_copy_caught(self):
+        with pytest.raises(InvariantError) as excinfo:
+            contracts.check_chunk_commit(
+                **self.commit_kwargs(assignment={1: 2, 2: 0})
+            )
+        assert "constraint 5" in str(excinfo.value)
+
+    def test_negative_stage_cost_caught(self):
+        with pytest.raises(InvariantError):
+            contracts.check_chunk_commit(
+                **self.commit_kwargs(stage_costs={"access": -3.0})
+            )
+
+
+class TestMessageCensus:
+    def census_kwargs(self, **overrides):
+        kwargs = dict(
+            chunk=0,
+            known_types=("NPI", "BADMIN", "CC"),
+            messages_before={},
+            messages_after={"NPI": 9, "BADMIN": 8, "CC": 4},
+            transmissions_before={},
+            transmissions_after={"NPI": 20, "BADMIN": 18, "CC": 6},
+            num_nodes=9,
+            num_admins=1,
+            hop_limit=2,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_consistent_census_passes(self):
+        contracts.check_message_census(**self.census_kwargs())
+
+    def test_lossy_npi_flood_caught(self):
+        with pytest.raises(InvariantError) as excinfo:
+            contracts.check_message_census(
+                **self.census_kwargs(
+                    messages_after={"NPI": 8, "BADMIN": 8, "CC": 4}
+                )
+            )
+        assert excinfo.value.rule == "message-census"
+
+    def test_unknown_type_caught(self):
+        with pytest.raises(InvariantError):
+            contracts.check_message_census(
+                **self.census_kwargs(
+                    messages_after={"NPI": 9, "BADMIN": 8, "XXX": 1}
+                )
+            )
+
+    def test_hop_envelope_caught(self):
+        with pytest.raises(InvariantError):
+            contracts.check_message_census(
+                **self.census_kwargs(
+                    transmissions_after={"NPI": 20, "BADMIN": 18, "CC": 9}
+                )
+            )
+
+
+class TestWiring:
+    def test_suite_runs_with_sanitizer_on(self):
+        # conftest.py sets REPRO_SANITIZE=1 for the whole suite unless
+        # the caller overrode it; this guards against the setdefault
+        # being dropped.
+        assert contracts.sanitize_enabled()
+
+    def test_dual_ascent_checks_itself(self, monkeypatch):
+        monkeypatch.setenv(contracts.ENV_VAR, "1")
+        instance = build_confl_instance(
+            grid_problem(4, num_chunks=1).new_state()
+        )
+        result = dual_ascent(instance)
+        assert set(result.assignment) == set(instance.clients)
