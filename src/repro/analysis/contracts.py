@@ -19,6 +19,10 @@ the three places a wrong answer could silently pass through:
   and BADMIN floods reach every node exactly once, unicast transmission
   counts stay within the ``k``-hop envelope, and no unknown message
   types appear.
+* :func:`check_incremental_cost_rows` — after each incremental cost
+  patch (``core/costs.py``): the delta-patched ``c_ij`` rows equal a
+  full recompute from the current storage state, with *exact* float
+  equality (all node costs are integers, so float64 sums are exact).
 
 Everything here is duck-typed over plain dicts/sequences so this module
 stays at the bottom of the layering (stdlib + :mod:`repro.errors` only)
@@ -261,6 +265,52 @@ def check_chunk_commit(
 
 
 # ----------------------------------------------------------------------
+# Incremental cost engine (Algorithm 1 lines 8-13, delta patching)
+# ----------------------------------------------------------------------
+def check_incremental_cost_rows(
+    *,
+    dirty_nodes: Sequence[Node],
+    patched: Mapping[Node, Mapping[Node, float]],
+    fresh: Mapping[Node, Mapping[Node, float]],
+) -> None:
+    """Assert delta-patched contention rows equal a full recompute.
+
+    Equality is *exact*: Eq. 2 sums integer node costs ``w_k (1 + S(k))``
+    and the patch adds the integer delta ``w_k · ΔS(k)``, so both sides
+    are integer-valued floats and any difference is a real defect, not
+    rounding.
+    """
+    rule = "incremental-costs"
+    dirty = sorted(map(repr, dirty_nodes))
+    if set(patched) != set(fresh):
+        missing = set(fresh) - set(patched)
+        extra = set(patched) - set(fresh)
+        _fail(
+            rule,
+            "patched row sources diverge from the fresh rebuild after "
+            f"dirty={dirty[:5]} (missing={sorted(map(repr, missing))[:5]}, "
+            f"extra={sorted(map(repr, extra))[:5]})",
+        )
+    for source, fresh_row in fresh.items():
+        patched_row = patched[source]
+        if set(patched_row) != set(fresh_row):
+            _fail(
+                rule,
+                f"row {source!r}: patched targets diverge from the fresh "
+                f"rebuild after dirty={dirty[:5]}",
+            )
+        for target, expected in fresh_row.items():
+            got = patched_row[target]
+            if got != expected:
+                _fail(
+                    rule,
+                    f"row {source!r}: patched c[{source!r}][{target!r}] = "
+                    f"{got} but a fresh rebuild gives {expected} "
+                    f"(after dirty={dirty[:5]})",
+                )
+
+
+# ----------------------------------------------------------------------
 # Distributed protocol (Algorithm 2, Table II)
 # ----------------------------------------------------------------------
 #: Message types whose range is limited to k hops (Table II "local").
@@ -352,6 +402,7 @@ __all__ = [
     "ENV_VAR",
     "check_chunk_commit",
     "check_dual_solution",
+    "check_incremental_cost_rows",
     "check_message_census",
     "check_storage_monotonic",
     "sanitize_enabled",

@@ -17,7 +17,7 @@ Solve one instance and print the placement summary::
 
 Run the instrumented performance baseline and write it as JSON::
 
-    repro bench --output BENCH_PR1.json
+    repro bench --output BENCH_PR3.json
     repro bench --nodes 40 --repeats 1 -o quick.json
 
 Check the architecture/hygiene rules (and optionally types)::
@@ -111,8 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated algorithms to benchmark (default appx,dist)",
     )
     bench.add_argument(
-        "--repeats", type=int, default=3,
-        help="runs per (scenario, algorithm); the fastest is kept",
+        "--repeats", type=int, default=None,
+        help="runs per (scenario, algorithm); the fastest is kept "
+        "(default 3, or 1 with --quick)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: only the small scenario, one repeat",
+    )
+    bench.add_argument(
+        "--max-full-rebuilds", type=int, default=None, metavar="N",
+        help="fail (exit 3) if any run's costs.full_rebuilds counter "
+        "exceeds N",
     )
 
     lint = sub.add_parser(
@@ -199,13 +209,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         SOLVERS,
         SUITE_BY_NAME,
         BenchScenario,
+        full_rebuild_overruns,
         render_bench,
         run_bench,
         write_bench,
     )
 
-    if args.repeats < 1:
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 1 if args.quick else 3
+    if repeats < 1:
         print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+    if args.quick and (args.nodes is not None or args.scenario):
+        print("--quick and --nodes/--scenario are mutually exclusive",
+              file=sys.stderr)
         return 2
     if args.nodes is not None:
         if args.scenario:
@@ -214,6 +232,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         scenarios = [BenchScenario(f"custom-{args.nodes}", args.nodes,
                                    seed=args.seed)]
+    elif args.quick:
+        scenarios = [SUITE_BY_NAME["small"]]
     elif args.scenario:
         unknown = [name for name in args.scenario if name not in SUITE_BY_NAME]
         if unknown:
@@ -236,10 +256,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not algorithms:
         print("no algorithms selected", file=sys.stderr)
         return 2
-    result = run_bench(scenarios, algorithms, repeats=args.repeats)
+    result = run_bench(scenarios, algorithms, repeats=repeats)
     write_bench(result, args.output)
     print(render_bench(result))
     print(f"\nwrote {args.output}")
+    if args.max_full_rebuilds is not None:
+        overruns = full_rebuild_overruns(result, args.max_full_rebuilds)
+        if overruns:
+            for scenario, name, count in overruns:
+                print(
+                    f"FAIL: {scenario}/{name} did {count:g} full cost "
+                    f"rebuilds (budget {args.max_full_rebuilds})",
+                    file=sys.stderr,
+                )
+            return 3
+        print(f"full-rebuild budget OK (<= {args.max_full_rebuilds})")
     return 0
 
 

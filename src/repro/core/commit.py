@@ -4,8 +4,12 @@ Whatever picks the caching set for a chunk — dual ascent, a baseline
 heuristic, the exact ILP, or the distributed protocol — the bookkeeping is
 identical: compute the stage costs with the *current* storage state, build
 the dissemination Steiner tree, assign clients to their cheapest server,
-commit the chunk to storage and invalidate the cost caches.  Centralizing
-it here keeps all algorithms comparable down to tie-breaking.
+commit the chunk to storage and refresh the cost caches.  Each
+``state.cache(node, chunk)`` call marks exactly one node dirty, so the
+:class:`~repro.core.costs.CostModel` delta-patches its cached ``c_ij``
+rows instead of rebuilding the matrix (Algorithm 1 lines 8–13) from
+scratch.  Centralizing it here keeps all algorithms comparable down to
+tie-breaking.
 """
 
 from __future__ import annotations
@@ -72,8 +76,8 @@ def commit_chunk(
         the KMB Steiner tree over ``caches ∪ {producer}``; the exact ILP
         passes its own optimal tree instead.
 
-    Returns the :class:`ChunkPlacement`; ``state`` is mutated (storage +
-    cost-cache invalidation).
+    Returns the :class:`ChunkPlacement`; ``state`` is mutated (storage
+    update + per-dirty-node cost-cache patching).
     """
     with get_recorder().timer("commit"):
         return _commit_chunk(state, chunk, caches, assignment, tree_edges)

@@ -25,14 +25,36 @@ Implements Sec. III-B and III-C:
 :class:`CostModel` binds a graph + storage state and serves these costs
 with caching keyed on a storage version counter, since Algorithm 1
 recomputes all ``c_ij`` after every chunk placement (lines 5–16).
+
+Incremental recomputation
+-------------------------
+
+Under the default ``"hops"`` policy PATH(i, j) depends only on the
+topology, so the per-source BFS hop trees (and their child adjacency)
+survive storage changes unconditionally.  A committed chunk changes
+``S(k)`` only at the nodes that cached it, and each such change shifts a
+cached cost row by a constant ``w_k · ΔS(k)`` on exactly the targets
+whose tree path passes through ``k`` — the subtree below ``k`` (or every
+target, when ``k`` is the row's source).  :meth:`invalidate` therefore
+accepts the set of *dirty* nodes and patches the retained rows in place
+instead of rebuilding the full ``c_ij`` matrix; the argument-free call
+remains the full-recompute fallback, and ``REPRO_SANITIZE=1``
+cross-checks every patch against a fresh rebuild
+(:func:`repro.analysis.contracts.check_incremental_cost_rows`).
+
+Because all node costs are integers (degree × occupancy), patched sums
+are exact in float64: a patched row equals a freshly rebuilt one bit for
+bit.  Under the ``"contention"`` policy storage changes can reroute
+paths, so dirty invalidation falls back to the full drop there.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, List, Optional, TYPE_CHECKING, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, TYPE_CHECKING, Tuple
 
-from repro.errors import ProblemError
+from repro.errors import NodeNotFoundError, NoPathError, ProblemError
+from repro.analysis import contracts
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_tree, dijkstra_node_costs, path_from_tree
 from repro.core.storage import StorageState
@@ -86,7 +108,9 @@ class CostModel:
     storage:
         Live storage state; the model reads it lazily, so callers mutate
         storage and then call :meth:`invalidate` (or use
-        :class:`~repro.core.problem.ProblemState`, which does it for them).
+        :class:`~repro.core.problem.ProblemState`, which does it for them
+        — passing the mutated nodes through as ``dirty_nodes`` so cached
+        cost rows are delta-patched instead of rebuilt).
     path_policy:
         How PATH(i, j) of Eq. 2 is chosen:
 
@@ -119,16 +143,118 @@ class CostModel:
         self.battery = battery
         self.battery_weight = battery_weight
         self._version = 0
+        # Topology-only structures: BFS hop trees and their child lists.
+        # They survive every storage invalidation (only
+        # :meth:`invalidate_topology` drops them).
         self._path_cache: Dict[Node, Dict[Node, Node]] = {}
+        self._children_cache: Dict[Node, Dict[Node, List[Node]]] = {}
+        # Storage-dependent structures, dropped (or patched) on invalidate.
+        self._tree_cache: Dict[
+            Node, Tuple[Dict[Node, float], Dict[Node, Node]]
+        ] = {}
         self._cost_cache: Dict[Node, Dict[Node, float]] = {}
+        # The S(k) values the cached cost rows reflect; deltas against it
+        # drive the incremental patches.
+        self._used_snapshot: Dict[Node, int] = {
+            node: storage.used(node) for node in graph.nodes()
+        }
 
     # ------------------------------------------------------------------
-    def invalidate(self) -> None:
-        """Drop cached paths/costs after the storage state changed."""
+    def invalidate(self, dirty_nodes: Optional[Iterable[Node]] = None) -> None:
+        """Refresh cached costs after the storage state changed.
+
+        Parameters
+        ----------
+        dirty_nodes:
+            The nodes whose occupancy ``S(k)`` changed since the last
+            call.  When given (and the policy is ``"hops"``), cached cost
+            rows are patched in place by adding ``w_k · ΔS(k)`` to every
+            target routed through ``k`` — the retained BFS trees tell us
+            exactly which ones.  ``None`` is the full-recompute fallback:
+            every cached row (and, under ``"contention"``, every Dijkstra
+            tree) is dropped.  The hop trees themselves are topology-only
+            and survive either way.
+        """
         self._version += 1
+        recorder = get_recorder()
+        recorder.count("costs.invalidations")
+        if dirty_nodes is None:
+            self._full_invalidate()
+            return
+        dirty: List[Node] = []
+        for node in dirty_nodes:
+            if node not in self.graph:
+                raise ProblemError(f"dirty node {node!r} is not in the graph")
+            dirty.append(node)
+        if self.path_policy != PATH_POLICY_HOPS:
+            # A storage delta can reroute minimum-contention paths, so
+            # every cached Dijkstra tree and cost row is suspect.
+            self._full_invalidate()
+            return
+        patched = False
+        for node in dirty:
+            used = self.storage.used(node)
+            delta_units = used - self._used_snapshot[node]
+            if delta_units == 0:
+                continue
+            self._used_snapshot[node] = used
+            delta = float(self.graph.degree(node) * delta_units)
+            if delta:
+                for source, row in self._cost_cache.items():
+                    self._patch_row(source, row, node, delta)
+            patched = True
+            recorder.count("costs.incremental_patches")
+        if patched and self._cost_cache and contracts.sanitize_enabled():
+            contracts.check_incremental_cost_rows(
+                dirty_nodes=dirty,
+                patched=self._cost_cache,
+                fresh={
+                    source: self._build_row(source)
+                    for source in self._cost_cache
+                },
+            )
+
+    def invalidate_topology(self) -> None:
+        """Drop *every* cache, including the topology-only BFS hop trees.
+
+        Call this after mutating the graph itself (adding/removing edges
+        or nodes); plain storage changes only need :meth:`invalidate`.
+        """
         self._path_cache.clear()
+        self._children_cache.clear()
+        self.invalidate()
+
+    def _full_invalidate(self) -> None:
+        """The blow-everything-away fallback (minus the hop trees)."""
         self._cost_cache.clear()
-        get_recorder().count("costs.invalidations")
+        self._tree_cache.clear()
+        used = self.storage.used
+        self._used_snapshot = {node: used(node) for node in self.graph.nodes()}
+        get_recorder().count("costs.full_rebuilds")
+
+    def _patch_row(
+        self, source: Node, row: Dict[Node, float], dirty: Node, delta: float
+    ) -> None:
+        """Add ``delta`` to every entry of ``row`` routed through ``dirty``.
+
+        ``row`` is the cached cost row of ``source``; the affected targets
+        are the subtree below ``dirty`` in the source's BFS tree (every
+        target except the source itself when ``dirty == source`` — paths
+        always include their source, but ``c_ii`` stays 0).
+        """
+        if dirty == source:
+            for target in row:
+                if target != source:
+                    row[target] += delta
+            return
+        if dirty not in self._hop_tree(source):
+            return  # unreachable from this source: no path uses it
+        children = self._children_of(source)
+        stack = [dirty]
+        while stack:
+            node = stack.pop()
+            row[node] += delta
+            stack.extend(children.get(node, ()))
 
     def fairness_cost(self, node: Node) -> float:
         """Eq. 1 for ``node``, plus the weighted battery term (footnote 1)
@@ -148,7 +274,11 @@ class CostModel:
 
     # ------------------------------------------------------------------
     def path(self, source: Node, target: Node) -> List[Node]:
-        """PATH(source, target) under the configured policy."""
+        """PATH(source, target) under the configured policy.
+
+        Raises :class:`~repro.errors.NoPathError` when ``target`` is
+        unreachable from ``source``.
+        """
         if source == target:
             return [source]
         if self.path_policy == PATH_POLICY_HOPS:
@@ -158,7 +288,13 @@ class CostModel:
         return path_from_tree(parents, source, target)
 
     def contention_cost(self, source: Node, target: Node) -> float:
-        """Eq. 2: ``c_ij`` between two nodes (0 when identical)."""
+        """Eq. 2: ``c_ij`` between two nodes (0 when identical).
+
+        Raises :class:`~repro.errors.NoPathError` when ``target`` is
+        unreachable from ``source`` (disconnected or churned graphs), and
+        :class:`~repro.errors.NodeNotFoundError` when ``target`` is not a
+        node at all.
+        """
         if source == target:
             return 0.0
         cached = self._cost_cache.get(source)
@@ -166,7 +302,12 @@ class CostModel:
             get_recorder().count("costs.row_cache_hits")
             return cached[target]
         costs = self._all_costs_from(source)
-        return costs[target]
+        try:
+            return costs[target]
+        except KeyError:
+            if target not in self.graph:
+                raise NodeNotFoundError(target) from None
+            raise NoPathError(source, target) from None
 
     def all_contention_costs(self, source: Node) -> Dict[Node, float]:
         """``c_ij`` from ``source`` to every reachable node (``c_ii = 0``)."""
@@ -177,14 +318,25 @@ class CostModel:
         return {node: self.all_contention_costs(node) for node in self.graph.nodes()}
 
     def edge_cost(self, u: Node, v: Node) -> float:
-        """Dissemination edge cost ``c_e = c_ij`` for adjacent ``u, v``.
+        """Dissemination edge cost ``c_e = c_ij`` for adjacent ``u, v``,
+        priced under the configured path policy.
 
-        For adjacent nodes the shortest path is the edge itself, so this
-        is ``w_u (1+S(u)) + w_v (1+S(v))`` regardless of path policy.
+        Every node cost ``w_k (1 + S(k))`` is at least 1 on a connected
+        graph, so any detour through an intermediate node costs strictly
+        more than the direct edge: under *both* policies PATH(u, v) of two
+        adjacent nodes is the edge itself and ``c_e`` equals
+        ``w_u (1+S(u)) + w_v (1+S(v))``.  The ``"hops"`` branch uses that
+        closed form (BFS from ``u`` discovers its neighbor ``v`` at depth
+        1); the ``"contention"`` branch routes through
+        :meth:`contention_cost` so Eq. 2 and the dissemination weights
+        agree by construction even if a future cost extension voids the
+        argument above.
         """
         if not self.graph.has_edge(u, v):
             raise ProblemError(f"({u!r}, {v!r}) is not an edge")
-        return self.node_cost(u) + self.node_cost(v)
+        if self.path_policy == PATH_POLICY_HOPS:
+            return self.node_cost(u) + self.node_cost(v)
+        return self.contention_cost(u, v)
 
     def contention_weighted_graph(self) -> Graph:
         """A copy of the topology with every edge weighted by ``c_e``.
@@ -208,11 +360,48 @@ class CostModel:
             get_recorder().count("costs.tree_rebuilds")
         return tree
 
-    def _contention_tree(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
-        dist, parents = dijkstra_node_costs(
-            self.graph, source, self.node_cost, include_source=True
-        )
-        return dist, parents
+    def _children_of(self, source: Node) -> Dict[Node, List[Node]]:
+        """Child lists of the BFS tree rooted at ``source`` (cached)."""
+        children = self._children_cache.get(source)
+        if children is None:
+            children = {}
+            for node, parent in self._hop_tree(source).items():
+                if node != source:
+                    children.setdefault(parent, []).append(node)
+            self._children_cache[source] = children
+        return children
+
+    def _contention_tree(
+        self, source: Node
+    ) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        cached = self._tree_cache.get(source)
+        if cached is None:
+            cached = dijkstra_node_costs(
+                self.graph, source, self.node_cost, include_source=True
+            )
+            self._tree_cache[source] = cached
+            get_recorder().count("costs.tree_rebuilds")
+        return cached
+
+    def _build_row(self, source: Node) -> Dict[Node, float]:
+        """A fresh cost row for ``source`` from the current storage."""
+        if self.path_policy == PATH_POLICY_HOPS:
+            children = self._children_of(source)
+            # Walk the BFS tree accumulating node costs root-to-leaf.
+            costs: Dict[Node, float] = {source: 0.0}
+            stack = [(source, self.node_cost(source))]
+            while stack:
+                node, acc = stack.pop()
+                for child in children.get(node, ()):
+                    total = acc + self.node_cost(child)
+                    costs[child] = total
+                    stack.append((child, total))
+            return costs
+        dist, _ = self._contention_tree(source)
+        return {
+            node: (0.0 if node == source else value)
+            for node, value in dist.items()
+        }
 
     def _all_costs_from(self, source: Node) -> Dict[Node, float]:
         cached = self._cost_cache.get(source)
@@ -220,28 +409,6 @@ class CostModel:
             get_recorder().count("costs.row_cache_hits")
             return cached
         get_recorder().count("costs.row_builds")
-        if self.path_policy == PATH_POLICY_HOPS:
-            parents = self._hop_tree(source)
-            # Walk the BFS tree accumulating node costs root-to-leaf.
-            costs: Dict[Node, float] = {source: 0.0}
-            base = self.node_cost(source)
-            # children lists from parent pointers
-            children: Dict[Node, List[Node]] = {}
-            for node, parent in parents.items():
-                if node != source:
-                    children.setdefault(parent, []).append(node)
-            stack = [(source, base)]
-            while stack:
-                node, acc = stack.pop()
-                for child in children.get(node, ()):
-                    total = acc + self.node_cost(child)
-                    costs[child] = total
-                    stack.append((child, total))
-        else:
-            dist, _ = self._contention_tree(source)
-            costs = {
-                node: (0.0 if node == source else value)
-                for node, value in dist.items()
-            }
+        costs = self._build_row(source)
         self._cost_cache[source] = costs
         return costs

@@ -169,17 +169,24 @@ class ProblemState:
         return slots
 
     def cache(self, node: Node, chunk: int) -> None:
-        """Cache ``chunk`` at ``node`` and invalidate dependent costs."""
+        """Cache ``chunk`` at ``node`` and refresh dependent costs.
+
+        Only ``node``'s occupancy changed, so the cost model is told
+        exactly which node is dirty and delta-patches its cached rows
+        instead of rebuilding them (see
+        :meth:`~repro.core.costs.CostModel.invalidate`).
+        """
         self.storage.add(node, chunk)
         if self.battery is not None:
             self.battery.drain(node, self.problem.energy_per_cache)
-        self.costs.invalidate()
+        self.costs.invalidate(dirty_nodes=(node,))
 
     def evict(self, node: Node, chunk: int) -> None:
-        """Remove ``chunk`` from ``node`` and invalidate dependent costs.
+        """Remove ``chunk`` from ``node`` and refresh dependent costs.
 
         Eviction frees storage but does *not* refund battery — the energy
-        was spent receiving and serving the chunk.
+        was spent receiving and serving the chunk.  Like :meth:`cache`,
+        the cost model only patches for the single dirty node.
         """
         self.storage.remove(node, chunk)
-        self.costs.invalidate()
+        self.costs.invalidate(dirty_nodes=(node,))

@@ -160,6 +160,25 @@ def run_bench(
     }
 
 
+def full_rebuild_overruns(result: dict, budget: int) -> List[tuple]:
+    """Return ``(scenario, algorithm, count)`` triples over the budget.
+
+    The incremental cost engine is expected to delta-patch cached rows
+    after every commit; ``costs.full_rebuilds`` counts the times it fell
+    back to dropping the whole matrix instead.  CI pins this to a budget
+    (0 for the default hops policy) so a regression that silently
+    reverts to rebuild-the-world fails the bench smoke job even when the
+    wall-clock noise would hide it.
+    """
+    overruns: List[tuple] = []
+    for scenario in result["scenarios"]:
+        for name, outcome in sorted(scenario["algorithms"].items()):
+            count = outcome["counters"].get("costs.full_rebuilds", 0)
+            if count > budget:
+                overruns.append((scenario["name"], name, count))
+    return overruns
+
+
 def write_bench(result: dict, path: str) -> None:
     """Write a bench document as pretty-printed JSON."""
     with open(path, "w", encoding="utf-8") as handle:

@@ -32,7 +32,16 @@ class TestParser:
         assert args.output == "BENCH.json"
         assert args.scenario is None
         assert args.algorithms == "appx,dist"
-        assert args.repeats == 3
+        assert args.repeats is None
+        assert not args.quick
+        assert args.max_full_rebuilds is None
+
+    def test_bench_quick_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--max-full-rebuilds", "0"]
+        )
+        assert args.quick
+        assert args.max_full_rebuilds == 0
 
     def test_bench_custom_args(self):
         args = build_parser().parse_args(
@@ -138,6 +147,49 @@ class TestBench:
                      "-o", str(out)]) == 2
         assert not out.exists()
         assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_quick_conflicts_with_scenario(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--scenario", "small",
+                     "-o", str(out)]) == 2
+        assert not out.exists()
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_quick_runs_small_once_within_budget(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--algorithms", "appx",
+                     "--max-full-rebuilds", "0", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["repeats"] == 1
+        assert [s["name"] for s in data["scenarios"]] == ["small"]
+        counters = data["scenarios"][0]["algorithms"]["Appx"]["counters"]
+        assert counters.get("costs.full_rebuilds", 0) == 0
+        assert counters["costs.incremental_patches"] > 0
+        assert "full-rebuild budget OK" in capsys.readouterr().out
+
+    def test_full_rebuild_budget_overrun_fails(self, tmp_path, capsys,
+                                               monkeypatch):
+        import json
+
+        # Force the engine over budget: pretend every patch was a drop.
+        from repro.obs import bench as bench_mod
+
+        original = bench_mod.bench_algorithm
+
+        def inflated(problem, algorithm, repeats=1):
+            outcome = original(problem, algorithm, repeats=repeats)
+            outcome["counters"]["costs.full_rebuilds"] = 7
+            return outcome
+
+        monkeypatch.setattr(bench_mod, "bench_algorithm", inflated)
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--algorithms", "appx",
+                     "--max-full-rebuilds", "0", "-o", str(out)]) == 3
+        assert json.loads(out.read_text())["schema"] == "repro-bench/1"
+        err = capsys.readouterr().err
+        assert "full cost" in err and "budget 0" in err
 
 
 def test_experiment_all_accepted():

@@ -210,6 +210,47 @@ class TestMessageCensus:
             )
 
 
+class TestIncrementalCostRows:
+    def base_kwargs(self, **overrides):
+        rows = {0: {0: 0.0, 1: 5.0, 2: 8.0}, 1: {0: 5.0, 1: 0.0, 2: 6.0}}
+        kwargs = dict(
+            dirty_nodes=[1],
+            patched={s: dict(row) for s, row in rows.items()},
+            fresh={s: dict(row) for s, row in rows.items()},
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_identical_rows_pass(self):
+        contracts.check_incremental_cost_rows(**self.base_kwargs())
+
+    def test_value_drift_caught(self):
+        kwargs = self.base_kwargs()
+        kwargs["patched"][0][2] += 3.0
+        with pytest.raises(InvariantError) as exc:
+            contracts.check_incremental_cost_rows(**kwargs)
+        assert "incremental-costs" in str(exc.value)
+
+    def test_exact_equality_no_tolerance(self):
+        # The contract is bit-for-bit: even a tiny drift is a defect.
+        kwargs = self.base_kwargs()
+        kwargs["patched"][1][2] += 1e-9
+        with pytest.raises(InvariantError):
+            contracts.check_incremental_cost_rows(**kwargs)
+
+    def test_missing_source_caught(self):
+        kwargs = self.base_kwargs()
+        del kwargs["patched"][1]
+        with pytest.raises(InvariantError):
+            contracts.check_incremental_cost_rows(**kwargs)
+
+    def test_target_set_divergence_caught(self):
+        kwargs = self.base_kwargs()
+        kwargs["patched"][0][99] = 1.0
+        with pytest.raises(InvariantError):
+            contracts.check_incremental_cost_rows(**kwargs)
+
+
 class TestWiring:
     def test_suite_runs_with_sanitizer_on(self):
         # conftest.py sets REPRO_SANITIZE=1 for the whole suite unless

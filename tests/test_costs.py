@@ -7,13 +7,20 @@ import pytest
 from repro.core import (
     CostModel,
     PATH_POLICY_CONTENTION,
+    PATH_POLICY_HOPS,
     StorageState,
     fairness_degree_cost,
     node_contention_cost,
     path_contention_cost,
 )
-from repro.errors import ProblemError
+from repro.errors import (
+    InvariantError,
+    NodeNotFoundError,
+    NoPathError,
+    ProblemError,
+)
 from repro.graphs import Graph, grid_graph, path_graph
+from repro.obs import Recorder, use_recorder
 
 
 class TestFairnessDegreeCost:
@@ -134,18 +141,244 @@ class TestCostModel:
         with pytest.raises(ProblemError):
             CostModel(grid4, storage, path_policy="teleport")
 
-    def test_invalidate_drops_both_caches(self, model):
-        # Regression: a stale _path_cache or _cost_cache after a storage
-        # mutation would silently serve pre-mutation contention costs.
+    def test_full_invalidate_drops_cost_rows_keeps_hop_trees(self, model):
+        # Regression: a stale _cost_cache after a storage mutation would
+        # silently serve pre-mutation contention costs.  The BFS hop
+        # trees depend only on topology and must survive.
         model.contention_cost(0, 2)
         model.path(0, 15)
         assert model._path_cache and model._cost_cache
+        trees_before = dict(model._path_cache)
         model.storage.add(1, 0)
         model.invalidate()
-        assert model._path_cache == {}
         assert model._cost_cache == {}
+        assert model._path_cache == trees_before
         # Fresh lookups rebuild from the mutated storage, not the caches.
         assert model.contention_cost(0, 2) == 2 + 3 * 2 + 3
+
+    def test_topology_invalidate_drops_everything(self, model):
+        model.contention_cost(0, 2)
+        assert model._path_cache and model._cost_cache
+        model.invalidate_topology()
+        assert model._path_cache == {}
+        assert model._children_cache == {}
+        assert model._cost_cache == {}
+
+
+class TestIncrementalInvalidation:
+    """The delta-patch engine: invalidate(dirty_nodes=...) under "hops"."""
+
+    @pytest.fixture
+    def model(self, grid4):
+        storage = StorageState(grid4.nodes(), 5, producer=9)
+        return CostModel(grid4, storage)
+
+    def _assert_matches_fresh(self, model):
+        fresh = CostModel(model.graph, model.storage, model.path_policy)
+        assert model.cost_matrix() == fresh.cost_matrix()
+
+    def test_single_dirty_patch_matches_fresh_model(self, model):
+        model.cost_matrix()  # populate every row
+        model.storage.add(5, 0)
+        model.invalidate(dirty_nodes=(5,))
+        self._assert_matches_fresh(model)
+
+    def test_sequence_of_commits_matches_fresh_model(self, model):
+        model.cost_matrix()
+        for chunk, node in enumerate((1, 5, 10, 5, 14, 1)):
+            model.storage.add(node, chunk)
+            model.invalidate(dirty_nodes=(node,))
+        self._assert_matches_fresh(model)
+
+    def test_evict_patches_downward(self, model):
+        model.storage.add(6, 0)
+        model.invalidate(dirty_nodes=(6,))
+        before = model.cost_matrix()
+        model.storage.remove(6, 0)
+        model.invalidate(dirty_nodes=(6,))
+        self._assert_matches_fresh(model)
+        assert model.cost_matrix() != before
+
+    def test_self_cost_stays_zero_when_source_dirty(self, model):
+        model.cost_matrix()
+        model.storage.add(5, 0)
+        model.invalidate(dirty_nodes=(5,))
+        assert model.contention_cost(5, 5) == 0.0
+        assert model.all_contention_costs(5)[5] == 0.0
+
+    def test_rows_built_after_patch_are_consistent(self, model):
+        # Only one row cached when the patch lands; rows built later must
+        # agree with it (they read the already-updated storage).
+        model.all_contention_costs(0)
+        model.storage.add(5, 0)
+        model.invalidate(dirty_nodes=(5,))
+        self._assert_matches_fresh(model)
+
+    def test_noop_dirty_invalidate_changes_nothing(self, model):
+        before = model.cost_matrix()
+        model.invalidate(dirty_nodes=(5,))  # storage did not change
+        assert model.cost_matrix() == before
+
+    def test_unknown_dirty_node_rejected(self, model):
+        with pytest.raises(ProblemError):
+            model.invalidate(dirty_nodes=("nowhere",))
+
+    def test_hop_trees_survive_dirty_invalidation(self, model):
+        model.cost_matrix()
+        tree = model._path_cache[0]
+        model.storage.add(5, 0)
+        model.invalidate(dirty_nodes=(5,))
+        assert model._path_cache[0] is tree
+
+    def test_counters(self, model):
+        rec = Recorder()
+        with use_recorder(rec):
+            model.cost_matrix()
+            builds = rec.counter("costs.row_builds")
+            model.storage.add(5, 0)
+            model.invalidate(dirty_nodes=(5,))
+            model.cost_matrix()
+        assert builds == model.graph.num_nodes
+        assert rec.counter("costs.row_builds") == builds  # patched, not rebuilt
+        assert rec.counter("costs.incremental_patches") == 1
+        assert rec.counter("costs.full_rebuilds") == 0
+        assert rec.counter("costs.row_cache_hits") >= builds
+
+    def test_full_invalidate_counts_full_rebuild(self, model):
+        rec = Recorder()
+        with use_recorder(rec):
+            model.invalidate()
+        assert rec.counter("costs.full_rebuilds") == 1
+        assert rec.counter("costs.incremental_patches") == 0
+
+    def test_contention_policy_falls_back_to_full_drop(self, grid4):
+        storage = StorageState(grid4.nodes(), 5, producer=9)
+        model = CostModel(grid4, storage, PATH_POLICY_CONTENTION)
+        model.all_contention_costs(0)
+        assert model._cost_cache and model._tree_cache
+        rec = Recorder()
+        with use_recorder(rec):
+            storage.add(5, 0)
+            model.invalidate(dirty_nodes=(5,))
+        assert model._cost_cache == {}
+        assert model._tree_cache == {}
+        assert rec.counter("costs.full_rebuilds") == 1
+        fresh = CostModel(grid4, storage, PATH_POLICY_CONTENTION)
+        assert model.cost_matrix() == fresh.cost_matrix()
+
+    def test_sanitizer_catches_inconsistent_patch(self, model, monkeypatch):
+        # Corrupt a cached row, then trigger an incremental patch: the
+        # REPRO_SANITIZE cross-check must notice the divergence.
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        model.cost_matrix()
+        model._cost_cache[0][15] += 1.0
+        model.storage.add(5, 0)
+        with pytest.raises(InvariantError):
+            model.invalidate(dirty_nodes=(5,))
+
+
+class TestUnreachableTargets:
+    """Disconnected/churned graphs must fail with typed errors."""
+
+    @pytest.fixture
+    def split(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge("a", "b")  # second component
+        return g
+
+    @pytest.mark.parametrize(
+        "policy", [PATH_POLICY_HOPS, PATH_POLICY_CONTENTION]
+    )
+    def test_contention_cost_unreachable_raises_no_path(self, split, policy):
+        model = CostModel(split, StorageState(split.nodes(), 5), policy)
+        with pytest.raises(NoPathError) as exc:
+            model.contention_cost(0, "a")
+        assert exc.value.source == 0
+        assert exc.value.target == "a"
+
+    @pytest.mark.parametrize(
+        "policy", [PATH_POLICY_HOPS, PATH_POLICY_CONTENTION]
+    )
+    def test_path_unreachable_raises_no_path(self, split, policy):
+        model = CostModel(split, StorageState(split.nodes(), 5), policy)
+        with pytest.raises(NoPathError):
+            model.path(0, "b")
+
+    def test_missing_target_raises_node_not_found(self, split):
+        model = CostModel(split, StorageState(split.nodes(), 5))
+        with pytest.raises(NodeNotFoundError):
+            model.contention_cost(0, "ghost")
+
+    def test_no_path_error_is_catchable_as_problem_family(self, split):
+        from repro.errors import ReproError
+
+        model = CostModel(split, StorageState(split.nodes(), 5))
+        with pytest.raises(ReproError):
+            model.contention_cost(0, "a")
+
+    def test_all_costs_cover_component_only(self, split):
+        model = CostModel(split, StorageState(split.nodes(), 5))
+        assert set(model.all_contention_costs(0)) == {0, 1, 2}
+        assert set(model.all_contention_costs("a")) == {"a", "b"}
+
+    def test_dirty_patch_skips_unreachable_dirty_node(self, split):
+        storage = StorageState(split.nodes(), 5)
+        model = CostModel(split, storage)
+        row = dict(model.all_contention_costs(0))
+        storage.add("a", 0)  # dirty node in the other component
+        model.invalidate(dirty_nodes=("a",))
+        assert model.all_contention_costs(0) == row
+
+
+class TestContentionTreeCache:
+    """The "contention" policy caches (dist, parents) per source now."""
+
+    def test_dijkstra_runs_once_per_source(self, grid4):
+        storage = StorageState(grid4.nodes(), 5)
+        model = CostModel(grid4, storage, PATH_POLICY_CONTENTION)
+        rec = Recorder()
+        with use_recorder(rec):
+            model.path(0, 15)
+            model.path(0, 10)
+            model.contention_cost(0, 5)
+        assert rec.counter("costs.tree_rebuilds") == 1
+
+    def test_invalidate_refreshes_cached_tree(self, grid4):
+        storage = StorageState(grid4.nodes(), 5)
+        model = CostModel(grid4, storage, PATH_POLICY_CONTENTION)
+        before = model.contention_cost(0, 2)
+        storage.add(1, 0)
+        model.invalidate()
+        rec = Recorder()
+        with use_recorder(rec):
+            after = model.contention_cost(0, 2)
+        assert rec.counter("costs.tree_rebuilds") == 1
+        assert after != before
+
+
+class TestEdgeCostPolicy:
+    """c_e must agree with the configured PATH policy's c_ij (Eq. 2)."""
+
+    @pytest.mark.parametrize(
+        "policy", [PATH_POLICY_HOPS, PATH_POLICY_CONTENTION]
+    )
+    def test_edge_cost_equals_policy_contention_cost(self, grid4, policy):
+        storage = StorageState(grid4.nodes(), 5)
+        for chunk, node in enumerate((1, 5, 5, 10)):
+            storage.add(node, chunk)
+        model = CostModel(grid4, storage, policy)
+        for u, v, _ in grid4.edges():
+            assert model.edge_cost(u, v) == model.contention_cost(u, v)
+
+    def test_direct_edge_is_optimal_under_contention_policy(self, grid4):
+        # Node costs are >= 1, so no detour can undercut the direct edge:
+        # the closed form w_u(1+S_u) + w_v(1+S_v) stays exact.
+        storage = StorageState(grid4.nodes(), 5)
+        model = CostModel(grid4, storage, PATH_POLICY_CONTENTION)
+        for u, v, _ in grid4.edges():
+            assert model.edge_cost(u, v) == model.node_cost(u) + model.node_cost(v)
 
 
 class TestContentionPathPolicy:
