@@ -41,10 +41,16 @@ from repro.graphs import Graph, grid_graph, random_geometric_graph
 from repro.io import load_placement, save_placement
 from repro.obs import (
     NullRecorder,
+    NullTracer,
     Recorder,
+    Tracer,
+    build_manifest,
     get_recorder,
+    get_tracer,
     set_recorder,
+    set_tracer,
     use_recorder,
+    use_tracer,
 )
 from repro.metrics import (
     evaluate_contention,
@@ -68,12 +74,16 @@ __all__ = [
     "Graph",
     "MessageStats",
     "NullRecorder",
+    "NullTracer",
     "Recorder",
     "StageCost",
     "StorageState",
+    "Tracer",
     "__version__",
+    "build_manifest",
     "evaluate_contention",
     "get_recorder",
+    "get_tracer",
     "gini_coefficient",
     "grid_graph",
     "load_placement",
@@ -85,6 +95,7 @@ __all__ = [
     "random_problem",
     "save_placement",
     "set_recorder",
+    "set_tracer",
     "solve_approximation",
     "solve_approximation_timed",
     "solve_contention",
@@ -94,4 +105,5 @@ __all__ = [
     "solve_random",
     "total_contention_cost",
     "use_recorder",
+    "use_tracer",
 ]

@@ -9,7 +9,10 @@ by :mod:`repro.analysis.linter`.  Four rules:
 * ``cycle`` — a strongly connected component of size > 1 (or a
   self-import) in the module-level import graph.
 * ``stdlib-only`` — a module listed in ``[rules] stdlib_only`` imports
-  anything outside the standard library (lazy imports included).
+  anything outside the standard library (lazy imports included).  Other
+  modules in the ``stdlib_only`` scope are allowed targets: the rule
+  guards the *transitive* dependency-free property, which importing
+  another dependency-free module preserves.
 * ``forbidden-import`` — an import matches an explicit ban from
   ``[rules.forbidden]`` (lazy imports included).
 * ``unassigned-module`` — a first-party module has no layer in the
@@ -241,6 +244,12 @@ def _check_stdlib_only(
         seen: Set[Tuple[int, str]] = set()
         for edge in edges_by_module[module.name]:
             top = edge.target.split(".", 1)[0]
+            if _is_first_party(edge.target, root) and spec.in_scope(
+                edge.target, spec.stdlib_only
+            ):
+                # Importing another stdlib-only module keeps the importer
+                # transitively dependency-free.
+                continue
             if stdlib and top in stdlib and not _is_first_party(edge.target, root):
                 continue
             if not stdlib and not _is_first_party(edge.target, root):

@@ -20,6 +20,11 @@ Run the instrumented performance baseline and write it as JSON::
     repro bench --output BENCH_PR3.json
     repro bench --nodes 40 --repeats 1 -o quick.json
 
+Gate a change against a committed baseline, and export an event trace::
+
+    repro bench --quick --compare BENCH_PR3.json --threshold 25
+    repro solve --random 20 --algorithm dist --trace trace.json
+
 Check the architecture/hygiene rules (and optionally types)::
 
     repro lint
@@ -86,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-map", action="store_true",
         help="print a per-node load map (grid topologies only)",
     )
+    solve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event trace and write it as Chrome "
+        "trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -123,6 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-full-rebuilds", type=int, default=None, metavar="N",
         help="fail (exit 3) if any run's costs.full_rebuilds counter "
         "exceeds N",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="diff this run against a baseline repro-bench JSON and fail "
+        "(exit 4) on regressions",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="regression threshold for --compare, in percent (default 25)",
+    )
+    bench.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event trace of the bench run and write "
+        "it as Chrome trace-event JSON",
     )
 
     lint = sub.add_parser(
@@ -173,7 +197,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         label = f"random network ({args.random} nodes, seed {args.seed})"
     name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
-    placements = run_algorithms(problem, [name])
+    with _maybe_trace(args.trace) as tracer:
+        placements = run_algorithms(problem, [name])
+    _write_trace(tracer, args.trace)
     placement = placements[name]
     s = summarize(name, placement)
     print(f"{name} on {label}: {problem.num_chunks} chunks, "
@@ -256,7 +282,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not algorithms:
         print("no algorithms selected", file=sys.stderr)
         return 2
-    result = run_bench(scenarios, algorithms, repeats=repeats)
+    with _maybe_trace(args.trace) as tracer:
+        result = run_bench(scenarios, algorithms, repeats=repeats)
+    _write_trace(tracer, args.trace)
     write_bench(result, args.output)
     print(render_bench(result))
     print(f"\nwrote {args.output}")
@@ -271,7 +299,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 )
             return 3
         print(f"full-rebuild budget OK (<= {args.max_full_rebuilds})")
+    if args.compare is not None:
+        from repro.errors import ReproError
+        from repro.obs.compare import compare_bench, load_bench
+
+        try:
+            baseline = load_bench(args.compare)
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"cannot load baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_bench(
+            baseline, result, threshold_pct=args.threshold
+        )
+        print()
+        print(comparison.render())
+        if not comparison.ok:
+            return 4
     return 0
+
+
+def _maybe_trace(path: Optional[str]):
+    """Context manager installing a live Tracer when ``path`` is set.
+
+    Yields the tracer (or None), so callers can export after the solve
+    completes; tracing stays a NullTracer no-op without ``--trace``.
+    """
+    import contextlib
+
+    from repro.obs import Tracer, use_tracer
+
+    if path is None:
+        return contextlib.nullcontext(None)
+
+    @contextlib.contextmanager
+    def _installed():
+        tracer = Tracer()
+        with use_tracer(tracer):
+            yield tracer
+
+    return _installed()
+
+
+def _write_trace(tracer, path: Optional[str]) -> None:
+    if tracer is None or path is None:
+        return
+    from repro.obs.manifest import build_manifest
+
+    tracer.write(path, manifest=build_manifest())
+    suffix = ""
+    if tracer.dropped:
+        suffix = f" ({tracer.dropped} events dropped; ring buffer full)"
+    print(f"wrote trace {path}: {len(tracer.events)} events{suffix}")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -21,7 +21,7 @@ from repro.analysis import contracts
 from repro.graphs.steiner import steiner_tree
 from repro.core.placement import ChunkPlacement, StageCost, edge_key
 from repro.core.problem import ProblemState
-from repro.obs import get_recorder
+from repro.obs import get_recorder, get_tracer
 
 Node = Hashable
 
@@ -79,8 +79,24 @@ def commit_chunk(
     Returns the :class:`ChunkPlacement`; ``state`` is mutated (storage
     update + per-dirty-node cost-cache patching).
     """
-    with get_recorder().timer("commit"):
-        return _commit_chunk(state, chunk, caches, assignment, tree_edges)
+    trace = get_tracer()
+    with get_recorder().timer("commit"), trace.span(
+        "commit.chunk", track="commit"
+    ) as span:
+        placement = _commit_chunk(state, chunk, caches, assignment, tree_edges)
+        if trace.enabled:
+            # The cost-cache attribution (incremental patch vs full
+            # rebuild) appears as costs.invalidate instants nested in
+            # this span's time range — see CostModel.invalidate.
+            span.add(
+                chunk=chunk,
+                caches=sorted(str(node) for node in placement.caches),
+                copies=len(placement.caches),
+                fairness=placement.stage_cost.fairness,
+                access=placement.stage_cost.access,
+                dissemination=placement.stage_cost.dissemination,
+            )
+        return placement
 
 
 def _commit_chunk(

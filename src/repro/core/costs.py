@@ -58,7 +58,7 @@ from repro.analysis import contracts
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_tree, dijkstra_node_costs, path_from_tree
 from repro.core.storage import StorageState
-from repro.obs import get_recorder
+from repro.obs import get_recorder, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.resources import BatteryState
@@ -204,6 +204,17 @@ class CostModel:
                     self._patch_row(source, row, node, delta)
             patched = True
             recorder.count("costs.incremental_patches")
+        trace = get_tracer()
+        if trace.enabled:
+            trace.instant(
+                "costs.invalidate",
+                track="commit",
+                args={
+                    "mode": "incremental",
+                    "dirty": sorted(str(node) for node in dirty),
+                    "rows_patched": len(self._cost_cache) if patched else 0,
+                },
+            )
         if patched and self._cost_cache and contracts.sanitize_enabled():
             contracts.check_incremental_cost_rows(
                 dirty_nodes=dirty,
@@ -226,6 +237,17 @@ class CostModel:
 
     def _full_invalidate(self) -> None:
         """The blow-everything-away fallback (minus the hop trees)."""
+        trace = get_tracer()
+        if trace.enabled:
+            trace.instant(
+                "costs.invalidate",
+                track="commit",
+                args={
+                    "mode": "full",
+                    "rows_dropped": len(self._cost_cache),
+                    "trees_dropped": len(self._tree_cache),
+                },
+            )
         self._cost_cache.clear()
         self._tree_cache.clear()
         used = self.storage.used

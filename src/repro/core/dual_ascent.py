@@ -38,7 +38,7 @@ from typing import Dict, Hashable, List, Optional, Set
 from repro.errors import SolverError
 from repro.analysis import contracts
 from repro.core.confl import ConFLInstance
-from repro.obs import get_recorder
+from repro.obs import get_recorder, get_tracer
 
 Node = Hashable
 
@@ -198,10 +198,14 @@ def dual_ascent(
     rounds = 0
     event_loops = 0
     direct_freezes = 0
+    trace = get_tracer()
+    tight_edges = 0
     while len(frozen) < len(clients):
         jump = rounds_to_next_event()
         rounds += jump
         event_loops += 1
+        frozen_before = len(frozen)
+        admins_before = len(admins)
         if rounds > config.max_rounds:
             raise SolverError(
                 f"dual ascent did not converge in {config.max_rounds} rounds"
@@ -242,8 +246,44 @@ def dual_ascent(
                 continue
             admin_set.add(i)
             admins.append(i)
+            if trace.enabled:
+                trace.instant(
+                    "dual_ascent.admin_open",
+                    track="dual_ascent",
+                    args={
+                        "facility": str(i),
+                        "round": rounds,
+                        "payment": facility_payment(i),
+                        "open_cost": open_cost[i],
+                        "tight_clients": len(active_tight),
+                    },
+                )
             for j in active_tight:
                 freeze(j, i)
+
+        # Per-iteration trace: the dual trajectory (bid levels, tight
+        # edges, freezes, openings) as one instant event per event-loop
+        # round.  Payload construction is gated so the default
+        # NullTracer costs one attribute read per iteration.
+        if trace.enabled:
+            total_tight = sum(len(t) for t in tight.values())
+            active_alpha = [alpha[j] for j in clients if j not in frozen]
+            trace.instant(
+                "dual_ascent.round",
+                track="dual_ascent",
+                args={
+                    "round": rounds,
+                    "jump": jump,
+                    "frozen": len(frozen),
+                    "new_freezes": len(frozen) - frozen_before,
+                    "admins": len(admins),
+                    "new_admins": len(admins) - admins_before,
+                    "tight_edges": total_tight,
+                    "new_tight_edges": total_tight - tight_edges,
+                    "alpha_active_max": max(active_alpha, default=0.0),
+                },
+            )
+            tight_edges = total_tight
 
     payments = {i: facility_payment(i) for i in facilities}
     span_counts = {i: len(tight[i]) for i in facilities}

@@ -20,6 +20,7 @@ from repro.graphs.components import is_connected
 from repro.graphs.graph import Graph
 from repro.core.costs import PATH_POLICY_HOPS, CostModel
 from repro.core.storage import StorageState
+from repro.obs import get_tracer
 
 Node = Hashable
 
@@ -179,6 +180,17 @@ class ProblemState:
         self.storage.add(node, chunk)
         if self.battery is not None:
             self.battery.drain(node, self.problem.energy_per_cache)
+        trace = get_tracer()
+        if trace.enabled:
+            trace.instant(
+                "storage.cache",
+                track="commit",
+                args={
+                    "node": str(node),
+                    "chunk": chunk,
+                    "used": self.storage.used(node),
+                },
+            )
         self.costs.invalidate(dirty_nodes=(node,))
 
     def evict(self, node: Node, chunk: int) -> None:
@@ -189,4 +201,15 @@ class ProblemState:
         the cost model only patches for the single dirty node.
         """
         self.storage.remove(node, chunk)
+        trace = get_tracer()
+        if trace.enabled:
+            trace.instant(
+                "storage.evict",
+                track="commit",
+                args={
+                    "node": str(node),
+                    "chunk": chunk,
+                    "used": self.storage.used(node),
+                },
+            )
         self.costs.invalidate(dirty_nodes=(node,))

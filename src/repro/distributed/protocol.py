@@ -54,7 +54,7 @@ from repro.distributed.messages import (
 )
 from repro.distributed.node import ProtocolNode
 from repro.distributed.simulator import Simulator
-from repro.obs import get_recorder
+from repro.obs import get_recorder, get_tracer
 
 Node = Hashable
 
@@ -184,6 +184,9 @@ class ChunkSession:
         )
         # Hop distances from every node (for scoped delivery + latency).
         self._hops: Dict[Node, Dict[Node, int]] = {}
+        # Resolved once per session: the per-message trace guard must be
+        # a plain attribute read, not a context-var lookup per radio send.
+        self._trace = get_tracer()
 
     # ------------------------------------------------------------------
     # Node-facing services
@@ -235,6 +238,24 @@ class ChunkSession:
             self._arbiter_scheduled = True
             self.sim.schedule(self.config.promotion_latency, self._arbitrate)
 
+    def _trace_msg(self, msg_type: str, src: Node, dst: Node, hops: int) -> None:
+        """One ``msg.<TYPE>`` instant per delivered Table II message.
+
+        Callers must guard with ``self._trace.enabled`` so the default
+        NullTracer costs one attribute read per radio send.
+        """
+        self._trace.instant(
+            f"msg.{msg_type}",
+            track="protocol",
+            args={
+                "src": str(src),
+                "dst": str(dst),
+                "hops": hops,
+                "chunk": self.chunk,
+                "sim_time": self.sim.now,
+            },
+        )
+
     # --- unicasts (k-hop scoped) --------------------------------------
     def _deliver(self, msg_type: str, src: Node, dst: Node, handler) -> None:
         hops = self._hop(src, dst)
@@ -243,6 +264,8 @@ class ChunkSession:
         if self._rng is not None and self._rng.random() < self.config.loss_rate:
             return  # radio loss (failure injection)
         self.stats.record(msg_type, hops)
+        if self._trace.enabled:
+            self._trace_msg(msg_type, src, dst, hops)
         self.sim.schedule(hops * self.config.hop_latency, handler)
 
     def send_tight(self, src: Node, dst: Node, contention: float, bid: float) -> None:
@@ -282,6 +305,8 @@ class ChunkSession:
                 cost_from_admin=costs[node], hops=hops[node],
             )
             self.stats.record(BADMIN, hops[node])
+            if self._trace.enabled:
+                self._trace_msg(BADMIN, admin, node, hops[node])
             self.sim.schedule(
                 hops[node] * self.config.hop_latency,
                 (lambda m=msg, n=node: self.nodes[n].on_badmin(m)),
@@ -296,6 +321,8 @@ class ChunkSession:
                 cost_from_producer=costs[node], hops=hops[node],
             )
             self.stats.record(NPI, hops[node])
+            if self._trace.enabled:
+                self._trace_msg(NPI, self.producer, node, hops[node])
             self.sim.schedule(
                 hops[node] * self.config.hop_latency,
                 (lambda m=msg, n=node: self.nodes[n].on_npi(m)),
@@ -315,6 +342,8 @@ class ChunkSession:
                 accumulated_cost=costs[node], hops=h,
             )
             self.stats.record(CC, h)
+            if self._trace.enabled:
+                self._trace_msg(CC, origin, node, h)
             self.sim.schedule(
                 h * self.config.hop_latency,
                 (lambda m=msg, n=node: self.nodes[n].on_cc(m)),
@@ -326,35 +355,47 @@ class ChunkSession:
     def run(self) -> ChunkPlacement:
         """Run the protocol for this chunk and commit the placement."""
         sanitize = contracts.sanitize_enabled()
+        # Always-on Table II census: message totals are snapshotted per
+        # session and mirrored into ``protocol.msgs.<type>`` counters at
+        # the end, so the per-message radio path stays counter-free.  The
+        # REPRO_SANITIZE census cross-check below additionally covers
+        # transmissions and structural bounds.
+        msgs_before = dict(self.stats.messages)
         census_before = (
-            (dict(self.stats.messages), dict(self.stats.transmissions))
-            if sanitize
-            else None
+            dict(self.stats.transmissions) if sanitize else None
         )
-        self._flood_npi()
-        # After NPI propagates, cacheable candidates announce themselves.
-        for node in self.nodes:
-            if self.can_cache(node):
-                self.sim.schedule(
-                    0.5 * self.config.tick_interval,
-                    (lambda origin=node: self._flood_cc(origin)),
+        with self._trace.span("chunk_session", track="protocol") as span:
+            self._flood_npi()
+            # After NPI propagates, cacheable candidates announce themselves.
+            for node in self.nodes:
+                if self.can_cache(node):
+                    self.sim.schedule(
+                        0.5 * self.config.tick_interval,
+                        (lambda origin=node: self._flood_cc(origin)),
+                    )
+            self.sim.schedule(self.config.tick_interval, self._tick)
+            self.sim.run()
+            if len(self._done) < len(self.nodes):
+                raise SimulationError(
+                    f"chunk {self.chunk}: protocol ended with "
+                    f"{len(self.nodes) - len(self._done)} unserved nodes"
                 )
-        self.sim.schedule(self.config.tick_interval, self._tick)
-        self.sim.run()
-        if len(self._done) < len(self.nodes):
-            raise SimulationError(
-                f"chunk {self.chunk}: protocol ended with "
-                f"{len(self.nodes) - len(self._done)} unserved nodes"
-            )
+            if self._trace.enabled:
+                span.add(
+                    chunk=self.chunk,
+                    ticks=self.ticks,
+                    admins=sorted(str(node) for node in self.admins),
+                    nodes=len(self.nodes),
+                )
         if sanitize and census_before is not None:
             from repro.distributed.messages import ALL_TYPES
 
             contracts.check_message_census(
                 chunk=self.chunk,
                 known_types=ALL_TYPES,
-                messages_before=census_before[0],
+                messages_before=msgs_before,
                 messages_after=dict(self.stats.messages),
-                transmissions_before=census_before[1],
+                transmissions_before=census_before,
                 transmissions_after=dict(self.stats.transmissions),
                 num_nodes=len(self.nodes),
                 num_admins=len(self.admins),
@@ -364,6 +405,15 @@ class ChunkSession:
         obs.count("dist.chunk_sessions")
         obs.count("dist.ticks", self.ticks)
         obs.count("dist.admins_promoted", len(self.admins))
+        # Table II census, always on (not just under REPRO_SANITIZE): one
+        # counter per message type this session actually sent.
+        session_total = 0
+        for msg_type, count in self.stats.messages.items():
+            delta = count - msgs_before.get(msg_type, 0)
+            if delta:
+                obs.count(f"protocol.msgs.{msg_type}", delta)
+                session_total += delta
+        obs.count("protocol.msgs.total", session_total)
         # Per-node queue depth: how many tight clients each candidate had
         # to track (the candidate-side memory the protocol costs a node).
         for proto in self.nodes.values():
@@ -384,6 +434,19 @@ class ChunkSession:
             node.client_tick(self.config.step)
         for node in self.nodes.values():
             node.candidate_tick(self.config.step)
+        if self._trace.enabled:
+            self._trace.instant(
+                "dist.tick",
+                track="protocol",
+                args={
+                    "tick": self.ticks,
+                    "chunk": self.chunk,
+                    "done": len(self._done),
+                    "nodes": len(self.nodes),
+                    "admins": len(self.admins),
+                    "sim_time": self.sim.now,
+                },
+            )
         if len(self._done) < len(self.nodes):
             self.sim.schedule(self.config.tick_interval, self._tick)
 

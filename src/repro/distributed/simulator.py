@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.obs import get_recorder
+from repro.obs import get_recorder, get_tracer
 
 Handler = Callable[[], None]
 
@@ -141,6 +141,17 @@ class Simulator:
                 obs = get_recorder()
                 obs.count("sim.events", executed)
                 obs.gauge("sim.max_queue_depth", self._max_queue_depth)
+                trace = get_tracer()
+                if trace.enabled:
+                    trace.instant(
+                        "sim.run",
+                        track="sim",
+                        args={
+                            "events": executed,
+                            "max_queue_depth": self._max_queue_depth,
+                            "sim_time": self._now,
+                        },
+                    )
 
     def _peek(self) -> Optional[_Event]:
         while self._queue and self._queue[0].cancelled:

@@ -18,7 +18,7 @@ from repro.baselines import solve_contention, solve_greedy_confl, solve_hopcount
 from repro.distributed import solve_distributed
 from repro.exact import solve_exact
 from repro.metrics import placement_gini, placement_percentile_fairness
-from repro.obs import get_recorder
+from repro.obs import get_recorder, get_tracer
 
 APPX = "Appx"
 DIST = "Dist"
@@ -49,14 +49,20 @@ def run_algorithms(
     """Run each named algorithm on ``problem``; placements are validated."""
     placements: Dict[str, CachePlacement] = {}
     obs = get_recorder()
+    trace = get_tracer()
     for name in algorithms:
         solver = SOLVERS.get(name)
         if solver is None:
             raise KeyError(
                 f"unknown algorithm {name!r}; choose from {sorted(SOLVERS)}"
             )
-        with obs.timer(f"solver.{name}"):
+        with obs.timer(f"solver.{name}"), trace.span(
+            f"solver.{name}", track="solver"
+        ) as span:
             placement = solver(problem)
+            if trace.enabled:
+                span.add(algorithm=name, nodes=problem.graph.num_nodes,
+                         chunks=problem.num_chunks)
         obs.count(f"runner.solves.{name}")
         placement.validate()
         placements[name] = placement

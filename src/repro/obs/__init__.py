@@ -1,20 +1,29 @@
-"""Observability: counters, phase timers, gauges, and the bench suite.
+"""Observability: counters, timers, gauges, tracing, and the bench suite.
 
 The instrumentation substrate every performance claim rests on:
 
 * :class:`Recorder` — named counters, hierarchical (context-manager)
-  phase timers, gauge snapshots; dumps to JSON.
+  phase timers, gauge snapshots; dumps to JSON with an embedded run
+  manifest.
 * :class:`NullRecorder` — the zero-overhead default; hot paths are
   always instrumented but pay ~nothing until a real recorder is
   installed.
 * :func:`get_recorder` / :func:`set_recorder` / :func:`use_recorder` —
   the active-recorder switch.
+* :class:`Tracer` / :class:`NullTracer` and :func:`get_tracer` /
+  :func:`set_tracer` / :func:`use_tracer` — the structured event layer
+  (:mod:`repro.obs.trace`): bounded ring buffer of spans + instant
+  events exporting Chrome trace-event / Perfetto JSON.
+* :func:`build_manifest` — run provenance (:mod:`repro.obs.manifest`)
+  embedded in recorder dumps, bench documents, and trace exports.
 
-The benchmark suite lives in :mod:`repro.obs.bench` (imported lazily by
-the CLI — it depends on the solver layers, which themselves import this
-package, so it must stay out of this namespace to avoid a cycle).
+The benchmark suite lives in :mod:`repro.obs.bench` and the baseline
+diffing in :mod:`repro.obs.compare`; ``bench`` is imported lazily by the
+CLI — it depends on the solver layers, which themselves import this
+package, so it must stay out of this namespace to avoid a cycle.
 """
 
+from repro.obs.manifest import build_manifest
 from repro.obs.recorder import (
     NullRecorder,
     Recorder,
@@ -22,11 +31,26 @@ from repro.obs.recorder import (
     set_recorder,
     use_recorder,
 )
+from repro.obs.trace import (
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "NullRecorder",
+    "NullTracer",
     "Recorder",
+    "TraceEvent",
+    "Tracer",
+    "build_manifest",
     "get_recorder",
+    "get_tracer",
     "set_recorder",
+    "set_tracer",
     "use_recorder",
+    "use_tracer",
 ]

@@ -13,6 +13,7 @@ Schema (``repro-bench/1``)::
     {"schema": "repro-bench/1",
      "version": "<repro version>", "python": ..., "platform": ...,
      "created_unix": ..., "repeats": R,
+     "manifest": {... repro-manifest/1: git SHA, seeds, scenario params},
      "scenarios": [
        {"name": "small",
         "network": {"kind": "random-geometric", "nodes": 30,
@@ -40,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.report import render_table
 from repro.experiments.runner import SOLVERS, summarize
+from repro.obs.manifest import build_manifest
 from repro.obs.recorder import Recorder, use_recorder
 from repro.workloads import random_problem
 
@@ -156,6 +158,15 @@ def run_bench(
         "platform": platform.platform(),
         "created_unix": time.time(),
         "repeats": repeats,
+        # Full run provenance (git SHA, seeds, scenario parameters) so a
+        # committed BENCH_*.json is self-describing and `--compare` can
+        # say exactly what baseline it diffed against.
+        "manifest": build_manifest(
+            version=_repro_version(),
+            repeats=repeats,
+            algorithms=list(algorithms),
+            scenarios=[scenario.network_info() for scenario in scenarios],
+        ),
         "scenarios": results,
     }
 

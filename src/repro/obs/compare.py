@@ -1,0 +1,274 @@
+"""Baseline diffing for ``repro-bench`` documents (``repro bench --compare``).
+
+Three ``BENCH_*.json`` files are committed to the repository and, until
+this module, nothing ever compared them — a regression in dual ascent or
+the incremental cost patcher would only surface if a human diffed JSON
+by hand.  :func:`compare_bench` turns a pair of bench documents into a
+machine-checkable verdict:
+
+* **Timers and wall-clock** regress when the current value exceeds the
+  baseline by more than ``threshold_pct`` AND by more than
+  ``min_abs_seconds`` — the absolute floor keeps millisecond phases from
+  flagging on scheduler noise while still gating real slowdowns.  Both
+  the per-path totals and (when both documents carry them) the per-call
+  ``max`` are checked, so a worst-case latency spike inside an unchanged
+  total is caught.
+* **Counters are exact.**  Every counter in this repository is
+  deterministic (rounds, messages, cache patches), so a counter that
+  *grew* past the threshold — or moved off a zero baseline at all, like
+  ``costs.full_rebuilds`` — is a real algorithmic regression, immune to
+  machine speed.
+
+Only the intersection of scenarios / algorithms / metric names is
+compared: new counters appear across PRs and a ``--quick`` run covers a
+subset of the suite, neither of which should fail the gate.  Entries
+present on one side only are reported as ``skipped`` so silent scope
+shrinkage is visible.
+
+Standard-library-only by contract: the CLI and CI consume this without
+pulling in the solver layers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Timer deltas below this many seconds never regress on their own —
+#: they are within scheduler noise for the quick CI scenarios.
+DEFAULT_MIN_ABS_SECONDS = 0.01
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One compared metric."""
+
+    scenario: str
+    algorithm: str
+    kind: str  # "wall" | "timer" | "timer-max" | "counter"
+    name: str
+    baseline: float
+    current: float
+    regressed: bool
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        """Percent change vs the baseline (``None`` off a zero base)."""
+        if self.baseline == 0:
+            return None
+        return (self.current - self.baseline) / self.baseline * 100.0
+
+    def label(self) -> str:
+        name = self.name if self.kind != "wall" else "wall_seconds"
+        suffix = " (max)" if self.kind == "timer-max" else ""
+        return f"{self.scenario}/{self.algorithm} {name}{suffix}"
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of one baseline diff."""
+
+    threshold_pct: float
+    rows: List[DiffRow] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """A terminal table: all regressions, then the summary line."""
+        lines: List[str] = []
+        if self.regressions:
+            headers = ["metric", "kind", "baseline", "current", "delta"]
+            table = [
+                [
+                    row.label(),
+                    row.kind,
+                    _fmt(row.baseline),
+                    _fmt(row.current),
+                    (
+                        f"+{row.delta_pct:.1f}%"
+                        if row.delta_pct is not None
+                        else "new>0"
+                    ),
+                ]
+                for row in self.regressions
+            ]
+            lines.append(_render_table(headers, table))
+        timers = sum(1 for r in self.rows if r.kind != "counter")
+        counters = sum(1 for r in self.rows if r.kind == "counter")
+        lines.append(
+            f"compared {timers} timer and {counters} counter entries "
+            f"(threshold {self.threshold_pct:g}%): "
+            + (
+                "no regressions"
+                if self.ok
+                else f"{len(self.regressions)} regression(s)"
+            )
+        )
+        if self.skipped:
+            lines.append(
+                f"skipped (present on one side only): {len(self.skipped)}"
+            )
+        return "\n".join(lines)
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read a bench document, validating the schema family."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema = document.get("schema", "")
+    if not str(schema).startswith("repro-bench/"):
+        raise ValueError(
+            f"{path}: not a repro-bench document (schema={schema!r})"
+        )
+    return document
+
+
+def compare_bench(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold_pct: float = 25.0,
+    min_abs_seconds: float = DEFAULT_MIN_ABS_SECONDS,
+) -> BenchComparison:
+    """Diff two bench documents; see the module docstring for semantics."""
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be >= 0")
+    comparison = BenchComparison(threshold_pct=threshold_pct)
+    factor = 1.0 + threshold_pct / 100.0
+    base_scenarios = _by_name(baseline)
+    cur_scenarios = _by_name(current)
+    for name in cur_scenarios:
+        if name not in base_scenarios:
+            comparison.skipped.append(f"scenario {name}")
+    for name, base_scenario in base_scenarios.items():
+        cur_scenario = cur_scenarios.get(name)
+        if cur_scenario is None:
+            comparison.skipped.append(f"scenario {name}")
+            continue
+        _compare_scenario(
+            comparison,
+            name,
+            base_scenario.get("algorithms", {}),
+            cur_scenario.get("algorithms", {}),
+            factor,
+            min_abs_seconds,
+        )
+    return comparison
+
+
+def _compare_scenario(
+    comparison: BenchComparison,
+    scenario: str,
+    base_algos: Dict[str, Any],
+    cur_algos: Dict[str, Any],
+    factor: float,
+    min_abs: float,
+) -> None:
+    for algo in sorted(set(base_algos) | set(cur_algos)):
+        base = base_algos.get(algo)
+        cur = cur_algos.get(algo)
+        if base is None or cur is None:
+            comparison.skipped.append(f"{scenario}/{algo}")
+            continue
+        rows = comparison.rows
+        rows.append(
+            _time_row(
+                scenario, algo, "wall", "wall_seconds",
+                float(base.get("wall_seconds", 0.0)),
+                float(cur.get("wall_seconds", 0.0)),
+                factor, min_abs,
+            )
+        )
+        base_timers = base.get("timers", {})
+        cur_timers = cur.get("timers", {})
+        for path, base_stat in sorted(base_timers.items()):
+            cur_stat = cur_timers.get(path)
+            if cur_stat is None:
+                comparison.skipped.append(f"{scenario}/{algo} timer {path}")
+                continue
+            rows.append(
+                _time_row(
+                    scenario, algo, "timer", path,
+                    float(base_stat["seconds"]), float(cur_stat["seconds"]),
+                    factor, min_abs,
+                )
+            )
+            # Worst-case gate: only when both sides carry per-call max
+            # (baselines written before the min/max stats lack it).
+            if "max" in base_stat and "max" in cur_stat:
+                rows.append(
+                    _time_row(
+                        scenario, algo, "timer-max", path,
+                        float(base_stat["max"]), float(cur_stat["max"]),
+                        factor, min_abs,
+                    )
+                )
+        base_counters = base.get("counters", {})
+        cur_counters = cur.get("counters", {})
+        for counter, base_value in sorted(base_counters.items()):
+            cur_value = cur_counters.get(counter)
+            if cur_value is None:
+                comparison.skipped.append(
+                    f"{scenario}/{algo} counter {counter}"
+                )
+                continue
+            base_f = float(base_value)
+            cur_f = float(cur_value)
+            regressed = (
+                cur_f > 0 if base_f == 0 else cur_f > base_f * factor
+            )
+            rows.append(
+                DiffRow(
+                    scenario, algo, "counter", counter,
+                    base_f, cur_f, regressed,
+                )
+            )
+
+
+def _time_row(
+    scenario: str,
+    algo: str,
+    kind: str,
+    name: str,
+    base: float,
+    cur: float,
+    factor: float,
+    min_abs: float,
+) -> DiffRow:
+    regressed = cur > base * factor and cur - base > min_abs
+    return DiffRow(scenario, algo, kind, name, base, cur, regressed)
+
+
+def _by_name(document: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {
+        scenario.get("name", f"#{index}"): scenario
+        for index, scenario in enumerate(document.get("scenarios", []))
+    }
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def _render_table(headers: Sequence[str], rows: List[List[str]]) -> str:
+    widths: Tuple[int, ...] = tuple(
+        max(len(str(headers[col])), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    )
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

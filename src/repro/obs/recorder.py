@@ -16,6 +16,10 @@ pair.  The design goals, in order:
 3. **Machine readable.**  :meth:`Recorder.dump` returns a plain dict of
    JSON-safe values (``to_json`` serialises it); the ``repro bench``
    subcommand embeds these dumps verbatim in ``BENCH_*.json``.
+4. **Self-describing.**  Every dump carries a run manifest (python /
+   platform / git SHA, plus whatever the caller attached via
+   :meth:`Recorder.annotate` — seed, scenario parameters) so a dump on
+   disk still says what produced it; see :mod:`repro.obs.manifest`.
 
 Single-threaded by design, matching the rest of the reproduction: the
 active-recorder global and the timer stack are not locked.
@@ -28,7 +32,7 @@ Usage::
     with use_recorder(rec):
         placement = solve_approximation(problem)
     print(rec.render())          # human-readable dump
-    data = rec.dump()            # {"counters": ..., "timers": ..., "gauges": ...}
+    data = rec.dump()            # {"counters", "timers", "gauges", "manifest"}
 """
 
 from __future__ import annotations
@@ -38,6 +42,8 @@ import time
 from contextlib import contextmanager
 from types import TracebackType
 from typing import Any, Dict, Iterator, List, Optional, Type, Union
+
+from repro.obs.manifest import build_manifest
 
 Number = Union[int, float]
 
@@ -94,7 +100,10 @@ class Recorder:
     * **Counters** (:meth:`count`) — monotone sums, e.g. dual-ascent
       rounds, cost-cache hits, delivered messages.
     * **Timers** (:meth:`timer`) — wall-clock per phase; nesting builds
-      ``/``-joined paths.  Each path tracks total seconds and call count.
+      ``/``-joined paths.  Each path tracks total seconds, call count,
+      and the per-call min/max, so worst-case latency is gateable (the
+      ``repro bench --compare`` regression check uses ``max``), not just
+      the totals.
     * **Gauges** (:meth:`gauge`) — point-in-time samples (queue depths,
       per-node loads); each name tracks last/min/max/mean/count so a
       whole distribution summarises into five numbers.
@@ -102,11 +111,15 @@ class Recorder:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Number] = {}
-        # path -> [total_seconds, calls]
+        # path -> [total_seconds, calls, min_seconds, max_seconds]
         self._timers: Dict[str, List[Number]] = {}
         # name -> [last, min, max, sum, count]
         self._gauges: Dict[str, List[Number]] = {}
         self._stack: List[str] = []
+        # Run provenance: creation time is pinned here so repeated
+        # dumps of one recorder carry an identical manifest.
+        self._created_unix: float = time.time()
+        self._annotations: Dict[str, Any] = {}
 
     # -- write side ----------------------------------------------------
     def count(self, name: str, n: Number = 1) -> None:
@@ -131,8 +144,16 @@ class Recorder:
         stat[3] += value
         stat[4] += 1
 
+    def annotate(self, **fields: Any) -> None:
+        """Attach run-provenance fields (seed, scenario parameters, ...)
+        to the manifest of every subsequent :meth:`dump`."""
+        self._annotations.update(fields)
+
     def reset(self) -> None:
-        """Drop all recorded data (the timer stack must be empty)."""
+        """Drop all recorded data (the timer stack must be empty).
+
+        Manifest annotations survive: they describe the run, not the
+        measurements."""
         self._counters.clear()
         self._timers.clear()
         self._gauges.clear()
@@ -147,10 +168,14 @@ class Recorder:
         self._stack.pop()
         stat = self._timers.get(path)
         if stat is None:
-            self._timers[path] = [elapsed, 1]
+            self._timers[path] = [elapsed, 1, elapsed, elapsed]
         else:
             stat[0] += elapsed
             stat[1] += 1
+            if elapsed < stat[2]:
+                stat[2] = elapsed
+            if elapsed > stat[3]:
+                stat[3] = elapsed
 
     # -- read side -------------------------------------------------------
     @property
@@ -173,13 +198,21 @@ class Recorder:
         Schema::
 
             {"counters": {name: number},
-             "timers":   {path: {"seconds": float, "calls": int}},
-             "gauges":   {name: {"last","min","max","mean","count"}}}
+             "timers":   {path: {"seconds","calls","min","max","mean"}},
+             "gauges":   {name: {"last","min","max","mean","count"}},
+             "manifest": {"schema","python","platform","git_sha",
+                          "created_unix", <annotate() fields>}}
         """
         return {
             "counters": dict(sorted(self._counters.items())),
             "timers": {
-                path: {"seconds": stat[0], "calls": stat[1]}
+                path: {
+                    "seconds": stat[0],
+                    "calls": stat[1],
+                    "min": stat[2],
+                    "max": stat[3],
+                    "mean": stat[0] / stat[1],
+                }
                 for path, stat in sorted(self._timers.items())
             },
             "gauges": {
@@ -192,6 +225,9 @@ class Recorder:
                 }
                 for name, stat in sorted(self._gauges.items())
             },
+            "manifest": build_manifest(
+                created_unix=self._created_unix, **self._annotations
+            ),
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -204,13 +240,14 @@ class Recorder:
         lines: List[str] = []
         data = self.dump()
         if data["timers"]:
-            lines.append("timers (seconds x calls):")
+            lines.append("timers (seconds x calls, max per call):")
             for path, stat in data["timers"].items():
                 depth = path.count("/")
                 label = path.rsplit("/", 1)[-1]
                 lines.append(
                     f"  {'  ' * depth}{label:<24} "
                     f"{stat['seconds']:>10.4f}  x{stat['calls']}"
+                    f"  (max {stat['max']:.4f})"
                 )
         if data["counters"]:
             lines.append("counters:")
@@ -241,6 +278,9 @@ class NullRecorder(Recorder):
         return _NULL_TIMER
 
     def gauge(self, name: str, value: Number) -> None:  # noqa: D102
+        pass
+
+    def annotate(self, **fields: Any) -> None:  # noqa: D102
         pass
 
 

@@ -1,0 +1,3 @@
+"""A first-party module OUTSIDE the stdlib_only scope."""
+
+VALUE = "not dependency-free by contract"

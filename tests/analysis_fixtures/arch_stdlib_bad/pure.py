@@ -1,3 +1,5 @@
 import numpy
 
-VALUE = numpy.__name__
+from arch_stdlib_bad.other import VALUE as OTHER
+
+VALUE = numpy.__name__ + OTHER

@@ -1,0 +1,5 @@
+"""A dependency-free sibling; importing it keeps `pure` stdlib-only."""
+
+import math
+
+HELPED = math.tau

@@ -1,4 +1,6 @@
 import json
 import math
 
-VALUE = json.dumps(math.pi)
+from arch_stdlib_ok.helper import HELPED
+
+VALUE = json.dumps(math.pi + HELPED)

@@ -138,8 +138,12 @@ class TestArchitectureRules:
         assert rules_of(bad) == {"forbidden-import"}, bad.render()
 
     def stdlib_spec(self, pkg: str) -> LayeringSpec:
+        # ``helper`` only exists in the ok tree: the ok fixture shows the
+        # stdlib-only closure (importing another stdlib-only module is
+        # fine), the bad one that anything else first-party still flags.
         return LayeringSpec(
-            layers={pkg: 0}, stdlib_only=(f"{pkg}.pure",)
+            layers={pkg: 0},
+            stdlib_only=(f"{pkg}.pure", f"{pkg}.helper"),
         )
 
     def test_stdlib_only_pair(self):
@@ -151,6 +155,9 @@ class TestArchitectureRules:
             "arch_stdlib_bad", self.stdlib_spec("arch_stdlib_bad")
         )
         assert rules_of(bad) == {"stdlib-only"}, bad.render()
+        flagged = {v.message.split()[-1] for v in bad.violations}
+        assert "numpy" in flagged
+        assert any("arch_stdlib_bad.other" in f for f in flagged)
 
     def test_unassigned_module_pair(self):
         ok = self.lint_tree(

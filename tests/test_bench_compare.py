@@ -1,0 +1,251 @@
+"""Tests for the bench regression gate (repro.obs.compare + CLI)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.compare import (
+    DEFAULT_MIN_ABS_SECONDS,
+    compare_bench,
+    load_bench,
+)
+
+
+def _doc(wall=1.0, timers=None, counters=None, scenario="small",
+         algorithm="Appx"):
+    """A minimal repro-bench document with one scenario/algorithm."""
+    return {
+        "schema": "repro-bench/1",
+        "scenarios": [
+            {
+                "name": scenario,
+                "algorithms": {
+                    algorithm: {
+                        "wall_seconds": wall,
+                        "timers": timers or {},
+                        "counters": counters or {},
+                    }
+                },
+            }
+        ],
+    }
+
+
+class TestTimerGate:
+    def test_identical_documents_pass(self):
+        doc = _doc(wall=1.0, timers={"solve": {"seconds": 0.8, "calls": 1}})
+        comparison = compare_bench(doc, copy.deepcopy(doc))
+        assert comparison.ok
+        assert comparison.regressions == []
+
+    def test_regression_over_threshold_and_floor_fails(self):
+        base = _doc(wall=1.0)
+        cur = _doc(wall=1.3)  # +30% and +0.3s: past both gates
+        comparison = compare_bench(base, cur, threshold_pct=25.0)
+        assert not comparison.ok
+        (row,) = comparison.regressions
+        assert row.kind == "wall"
+        assert row.delta_pct == pytest.approx(30.0)
+
+    def test_below_threshold_passes(self):
+        comparison = compare_bench(_doc(wall=1.0), _doc(wall=1.2),
+                                   threshold_pct=25.0)
+        assert comparison.ok
+
+    def test_absolute_floor_absorbs_millisecond_noise(self):
+        # +100% but only +5ms: under the 0.01s floor, not a regression.
+        base = _doc(wall=0.005)
+        cur = _doc(wall=0.010)
+        assert compare_bench(base, cur, threshold_pct=25.0).ok
+
+    def test_floor_is_configurable(self):
+        base = _doc(wall=0.005)
+        cur = _doc(wall=0.010)
+        comparison = compare_bench(base, cur, threshold_pct=25.0,
+                                   min_abs_seconds=0.001)
+        assert not comparison.ok
+
+    def test_default_floor_value(self):
+        assert DEFAULT_MIN_ABS_SECONDS == 0.01
+
+    def test_timer_totals_gated(self):
+        base = _doc(timers={"solve": {"seconds": 1.0, "calls": 1}})
+        cur = _doc(timers={"solve": {"seconds": 2.0, "calls": 1}})
+        comparison = compare_bench(base, cur)
+        rows = comparison.regressions
+        assert [row.name for row in rows] == ["solve"]
+        assert rows[0].kind == "timer"
+
+    def test_per_call_max_gated_when_both_sides_have_it(self):
+        base = _doc(timers={"solve": {"seconds": 1.0, "calls": 10,
+                                      "max": 0.1}})
+        cur = _doc(timers={"solve": {"seconds": 1.0, "calls": 10,
+                                     "max": 0.9}})
+        comparison = compare_bench(base, cur)
+        (row,) = comparison.regressions
+        assert row.kind == "timer-max"
+        assert "(max)" in row.label()
+
+    def test_max_skipped_for_legacy_baselines(self):
+        # Baselines written before min/max stats have no "max" key.
+        base = _doc(timers={"solve": {"seconds": 1.0, "calls": 10}})
+        cur = _doc(timers={"solve": {"seconds": 1.0, "calls": 10,
+                                     "max": 99.0}})
+        comparison = compare_bench(base, cur)
+        assert comparison.ok
+        assert all(row.kind != "timer-max" for row in comparison.rows)
+
+    def test_improvement_never_regresses(self):
+        assert compare_bench(_doc(wall=2.0), _doc(wall=0.5)).ok
+
+
+class TestCounterGate:
+    def test_exact_counters_pass(self):
+        base = _doc(counters={"dual_ascent.rounds": 86})
+        cur = _doc(counters={"dual_ascent.rounds": 86})
+        assert compare_bench(base, cur).ok
+
+    def test_counter_growth_past_threshold_fails(self):
+        base = _doc(counters={"dual_ascent.rounds": 100})
+        cur = _doc(counters={"dual_ascent.rounds": 126})
+        comparison = compare_bench(base, cur, threshold_pct=25.0)
+        (row,) = comparison.regressions
+        assert row.kind == "counter"
+        assert row.name == "dual_ascent.rounds"
+
+    def test_counter_growth_within_threshold_passes(self):
+        base = _doc(counters={"dual_ascent.rounds": 100})
+        cur = _doc(counters={"dual_ascent.rounds": 124})
+        assert compare_bench(base, cur, threshold_pct=25.0).ok
+
+    def test_zero_baseline_counter_moving_fails(self):
+        # costs.full_rebuilds going 0 -> anything is a real regression,
+        # regardless of threshold: no percentage softens a zero base.
+        base = _doc(counters={"costs.full_rebuilds": 0})
+        cur = _doc(counters={"costs.full_rebuilds": 1})
+        comparison = compare_bench(base, cur, threshold_pct=1000.0)
+        (row,) = comparison.regressions
+        assert row.name == "costs.full_rebuilds"
+        assert row.delta_pct is None
+        assert "new>0" in comparison.render()
+
+    def test_counter_decrease_passes(self):
+        base = _doc(counters={"sim.events": 500})
+        cur = _doc(counters={"sim.events": 100})
+        assert compare_bench(base, cur).ok
+
+
+class TestScope:
+    def test_only_intersection_compared(self):
+        base = _doc(counters={"a": 1, "gone": 5})
+        base["scenarios"].append(
+            {"name": "large", "algorithms": {"Appx": {"wall_seconds": 9.0}}}
+        )
+        cur = _doc(counters={"a": 1, "brand_new": 7})
+        comparison = compare_bench(base, cur)
+        assert comparison.ok
+        assert any("scenario large" in s for s in comparison.skipped)
+        assert any("counter gone" in s for s in comparison.skipped)
+
+    def test_one_sided_algorithm_skipped(self):
+        base = _doc(algorithm="Appx")
+        cur = _doc(algorithm="Dist")
+        comparison = compare_bench(base, cur)
+        assert comparison.ok
+        assert any("Appx" in s for s in comparison.skipped)
+        assert any("Dist" in s for s in comparison.skipped)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_bench(_doc(), _doc(), threshold_pct=-1.0)
+
+    def test_render_mentions_summary(self):
+        comparison = compare_bench(_doc(wall=1.0), _doc(wall=5.0))
+        text = comparison.render()
+        assert "regression" in text
+        assert "wall_seconds" in text
+
+
+class TestLoadBench:
+    def test_loads_valid_document(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_doc()))
+        assert load_bench(str(path))["schema"] == "repro-bench/1"
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "repro-trace/1"}))
+        with pytest.raises(ValueError):
+            load_bench(str(path))
+
+    def test_rejects_missing_schema(self, tmp_path):
+        path = tmp_path / "raw.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_bench(str(path))
+
+
+class TestCliGate:
+    """End-to-end: `repro bench --compare` exits 4 on regression."""
+
+    ARGS = ["bench", "--nodes", "12", "--repeats", "1",
+            "--algorithms", "appx"]
+
+    def _run(self, tmp_path, extra):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        code = main(self.ARGS + ["-o", str(out)] + extra)
+        return code, out
+
+    def test_self_comparison_passes(self, tmp_path, capsys):
+        code, out = self._run(tmp_path, [])
+        assert code == 0
+        code, _ = self._run(tmp_path, ["--compare", str(out)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_synthetically_faster_baseline_fails(self, tmp_path, capsys):
+        code, out = self._run(tmp_path, [])
+        assert code == 0
+        # Shrink the baseline: real timers 10x faster, counters halved —
+        # the fresh run must now look like a regression on both axes.
+        baseline = json.loads(out.read_text())
+        for scenario in baseline["scenarios"]:
+            for outcome in scenario["algorithms"].values():
+                outcome["wall_seconds"] /= 10.0
+                for stat in outcome["timers"].values():
+                    for key in ("seconds", "min", "max", "mean"):
+                        stat[key] /= 10.0
+                for name in outcome["counters"]:
+                    outcome["counters"][name] = max(
+                        0, int(outcome["counters"][name] // 2)
+                    )
+        fake = tmp_path / "fake-baseline.json"
+        fake.write_text(json.dumps(baseline))
+        code, _ = self._run(tmp_path, ["--compare", str(fake)])
+        assert code == 4
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        code, _ = self._run(
+            tmp_path, ["--compare", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_non_bench_baseline_rejected(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "something-else"}))
+        code, _ = self._run(tmp_path, ["--compare", str(bogus)])
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_committed_baseline_loads(self):
+        # The document CI gates against must always stay loadable.
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_PR3.json"
+        doc = load_bench(str(path))
+        assert {s["name"] for s in doc["scenarios"]} >= {"small"}

@@ -35,6 +35,24 @@ class TestParser:
         assert args.repeats is None
         assert not args.quick
         assert args.max_full_rebuilds is None
+        assert args.compare is None
+        assert args.threshold == 25.0
+        assert args.trace is None
+
+    def test_bench_compare_and_trace_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--compare", "BENCH_PR3.json", "--threshold", "10",
+             "--trace", "t.json"]
+        )
+        assert args.compare == "BENCH_PR3.json"
+        assert args.threshold == 10.0
+        assert args.trace == "t.json"
+
+    def test_solve_trace_flag(self):
+        args = build_parser().parse_args(
+            ["solve", "--grid", "4", "--trace", "t.json"]
+        )
+        assert args.trace == "t.json"
 
     def test_bench_quick_flags(self):
         args = build_parser().parse_args(
@@ -190,6 +208,46 @@ class TestBench:
         assert json.loads(out.read_text())["schema"] == "repro-bench/1"
         err = capsys.readouterr().err
         assert "full cost" in err and "budget 0" in err
+
+
+class TestTraceExport:
+    def test_solve_writes_perfetto_trace(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["solve", "--random", "20", "--chunks", "1",
+                     "--algorithm", "dist", "--trace", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        names = {event["name"] for event in events}
+        # Per-round Algorithm 2 message events, keyed by Table II type.
+        assert "msg.NPI" in names and "msg.CC" in names
+        assert "dist.tick" in names
+        assert "solver.Dist" in names
+        assert doc["otherData"]["manifest"]["schema"] == "repro-manifest/1"
+        assert "wrote trace" in capsys.readouterr().out
+
+    def test_bench_writes_trace(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "bench-trace.json"
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--nodes", "12", "--repeats", "1",
+                     "--algorithms", "appx", "-o", str(out),
+                     "--trace", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert "dual_ascent.round" in names
+        assert "commit.chunk" in names
+
+    def test_no_trace_flag_writes_nothing(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--nodes", "10", "--repeats", "1",
+                     "--algorithms", "appx", "-o", str(out)]) == 0
+        assert not (tmp_path / "trace.json").exists()
 
 
 def test_experiment_all_accepted():

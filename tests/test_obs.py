@@ -86,6 +86,21 @@ class TestTimers:
         assert rec.timer_seconds("t") >= 0.0
         assert rec.timer_seconds("absent") == 0.0
 
+    def test_per_call_min_max_mean(self):
+        rec = Recorder()
+        with rec.timer("t"):
+            time.sleep(0.002)
+        with rec.timer("t"):
+            pass
+        stat = rec.dump()["timers"]["t"]
+        assert stat["calls"] == 2
+        assert 0.0 <= stat["min"] <= stat["max"]
+        assert stat["max"] >= 0.002
+        assert stat["mean"] == pytest.approx(stat["seconds"] / 2)
+        # min/max bracket the mean and the render shows the worst case.
+        assert stat["min"] <= stat["mean"] <= stat["max"]
+        assert "max" in rec.render()
+
 
 class TestGauges:
     def test_summary_statistics(self):
@@ -94,6 +109,28 @@ class TestGauges:
             rec.gauge("depth", value)
         stat = rec.dump()["gauges"]["depth"]
         assert stat == {"last": 2, "min": 1, "max": 3, "mean": 2.0, "count": 3}
+
+    def test_repeated_calls_aggregate_not_overwrite(self):
+        # A gauge sampled many times must keep the full count and the
+        # extremes, not just the latest value.
+        rec = Recorder()
+        for value in range(10):
+            rec.gauge("q", value)
+        for value in range(9, -1, -1):
+            rec.gauge("q", value)
+        stat = rec.dump()["gauges"]["q"]
+        assert stat["count"] == 20
+        assert stat["min"] == 0
+        assert stat["max"] == 9
+        assert stat["last"] == 0
+        assert stat["mean"] == pytest.approx(4.5)
+
+    def test_single_sample(self):
+        rec = Recorder()
+        rec.gauge("one", 7.5)
+        assert rec.dump()["gauges"]["one"] == {
+            "last": 7.5, "min": 7.5, "max": 7.5, "mean": 7.5, "count": 1,
+        }
 
 
 class TestDump:
@@ -112,7 +149,30 @@ class TestDump:
         with rec.timer("t"):
             pass
         rec.reset()
-        assert rec.dump() == {"counters": {}, "timers": {}, "gauges": {}}
+        dump = rec.dump()
+        assert dump["counters"] == {}
+        assert dump["timers"] == {}
+        assert dump["gauges"] == {}
+
+    def test_dump_embeds_manifest(self):
+        rec = Recorder()
+        manifest = rec.dump()["manifest"]
+        assert manifest["schema"] == "repro-manifest/1"
+        assert set(manifest) >= {"python", "platform", "git_sha",
+                                 "created_unix"}
+        # The manifest is stable across dumps of the same recorder, so
+        # dump() == json.loads(to_json()) holds (created_unix is pinned
+        # at construction).
+        assert rec.dump()["manifest"] == manifest
+
+    def test_annotations_reach_manifest_and_survive_reset(self):
+        rec = Recorder()
+        rec.annotate(scenario="small", seed=2017)
+        rec.count("c")
+        rec.reset()
+        manifest = rec.dump()["manifest"]
+        assert manifest["scenario"] == "small"
+        assert manifest["seed"] == 2017
 
     def test_render_mentions_all_sections(self):
         rec = Recorder()
@@ -136,7 +196,10 @@ class TestNullRecorder:
         rec.gauge("g", 1)
         with rec.timer("t"):
             pass
-        assert rec.dump() == {"counters": {}, "timers": {}, "gauges": {}}
+        dump = rec.dump()
+        assert dump["counters"] == {}
+        assert dump["timers"] == {}
+        assert dump["gauges"] == {}
 
     def test_timer_is_shared_noop(self):
         rec = NullRecorder()
@@ -223,6 +286,12 @@ class TestInstrumentation:
         dump = rec.dump()
         assert rec.counter("dist.messages.total") == outcome.stats.total_messages()
         assert rec.counter("dist.messages.NPI") == outcome.stats.messages["NPI"]
+        # The always-on Table II census (summed per chunk session) must
+        # agree with the MessageStats totals exactly.
+        assert rec.counter("protocol.msgs.total") == outcome.stats.total_messages()
+        for msg_type, count in outcome.stats.messages.items():
+            if count:
+                assert rec.counter(f"protocol.msgs.{msg_type}") == count
         assert rec.counter("sim.events") == outcome.sim_events
         assert rec.counter("dist.chunk_sessions") == problem.num_chunks
         assert "dist.node_tight_queue" in dump["gauges"]
@@ -234,11 +303,10 @@ class TestInstrumentation:
         from repro.core import solve_approximation
 
         solve_approximation(problem)
-        assert get_recorder().dump() == {
-            "counters": {},
-            "timers": {},
-            "gauges": {},
-        }
+        dump = get_recorder().dump()
+        assert dump["counters"] == {}
+        assert dump["timers"] == {}
+        assert dump["gauges"] == {}
 
 
 class TestBench:
@@ -271,3 +339,12 @@ class TestBench:
         assert json.loads(path.read_text()) == result
         text = render_bench(result)
         assert "tiny" in text and "Appx" in text and "Dist" in text
+
+    def test_bench_document_carries_manifest(self):
+        result = run_bench([self.TINY], algorithms=("Appx",), repeats=1)
+        manifest = result["manifest"]
+        assert manifest["schema"] == "repro-manifest/1"
+        assert manifest["repeats"] == 1
+        assert manifest["algorithms"] == ["Appx"]
+        assert manifest["scenarios"] == [self.TINY.network_info()]
+        assert "git_sha" in manifest and "python" in manifest

@@ -1,0 +1,288 @@
+"""Unit tests for the structured event tracer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.trace import DEFAULT_CAPACITY, TRACE_SCHEMA
+from repro.workloads import grid_problem, random_problem
+
+
+class TestRecording:
+    def test_instant_event(self):
+        tr = Tracer()
+        tr.instant("tick", track="proto", args={"n": 1})
+        (event,) = tr.events
+        assert event.name == "tick"
+        assert event.ph == "i"
+        assert event.track == "proto"
+        assert event.args == {"n": 1}
+        assert event.ts >= 0.0
+
+    def test_span_records_duration_on_exit(self):
+        tr = Tracer()
+        with tr.span("phase", track="solver") as span:
+            span.add(extra=42)
+        (event,) = tr.events
+        assert event.ph == "X"
+        assert event.dur >= 0.0
+        assert event.args == {"extra": 42}
+
+    def test_span_records_even_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("phase"):
+                raise ValueError("boom")
+        assert len(tr.events) == 1
+
+    def test_timestamps_are_monotonic(self):
+        tr = Tracer()
+        for i in range(10):
+            tr.instant(f"e{i}")
+        stamps = [event.ts for event in tr.events]
+        assert stamps == sorted(stamps)
+
+    def test_default_capacity(self):
+        assert Tracer().capacity == DEFAULT_CAPACITY
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestRingBuffer:
+    def test_overflow_drops_oldest_and_counts(self):
+        tr = Tracer(capacity=10)
+        for i in range(25):
+            tr.instant(f"e{i}")
+        assert len(tr.events) == 10
+        assert tr.dropped == 15
+        # The oldest were overwritten: only the newest 10 remain.
+        assert [event.name for event in tr.events] == [
+            f"e{i}" for i in range(15, 25)
+        ]
+
+    def test_no_drops_below_capacity(self):
+        tr = Tracer(capacity=10)
+        for i in range(10):
+            tr.instant(f"e{i}")
+        assert tr.dropped == 0
+        assert len(tr.events) == 10
+
+    def test_export_reports_drop_accounting(self):
+        tr = Tracer(capacity=4)
+        for i in range(9):
+            tr.instant(f"e{i}")
+        other = tr.export()["otherData"]
+        assert other["schema"] == TRACE_SCHEMA
+        assert other["capacity"] == 4
+        assert other["retained_events"] == 4
+        assert other["dropped_events"] == 5
+
+
+class TestChromeExport:
+    REQUIRED = {"name", "ph", "ts", "pid", "tid"}
+
+    def _trace(self):
+        tr = Tracer()
+        with tr.span("outer", track="solver"):
+            tr.instant("inner", track="proto", args={"k": "v"})
+        tr.instant("lone", track="proto")
+        return tr
+
+    def test_every_event_has_the_required_fields(self):
+        doc = self._trace().export()
+        assert doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert self.REQUIRED <= set(event), event
+            assert event["ph"] in {"X", "i", "M"}
+            if event["ph"] == "X":
+                assert "dur" in event and event["dur"] >= 0.0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_tracks_become_named_threads(self):
+        doc = self._trace().export()
+        thread_names = {
+            event["tid"]: event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert set(thread_names.values()) == {"solver", "proto"}
+        data_events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        # Every data event's tid maps to its track's thread.
+        for event in data_events:
+            assert thread_names[event["tid"]] == event["cat"]
+
+    def test_export_is_json_serialisable(self):
+        doc = self._trace().export()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_manifest_embedded(self):
+        doc = self._trace().export(manifest={"schema": "x", "note": "hi"})
+        assert doc["otherData"]["manifest"] == {"schema": "x", "note": "hi"}
+        default = self._trace().export()["otherData"]["manifest"]
+        assert default["schema"] == "repro-manifest/1"
+
+    def test_write_round_trips(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "trace.json"
+        # Pin the manifest: each export() builds a fresh one otherwise
+        # (with a fresh created_unix timestamp).
+        manifest = {"schema": "repro-manifest/1", "pinned": True}
+        tr.write(str(path), manifest=manifest)
+        assert json.loads(path.read_text()) == tr.export(manifest=manifest)
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tr = NullTracer()
+        tr.instant("x", args={"heavy": list(range(100))})
+        with tr.span("y") as span:
+            span.add(z=1)
+        assert tr.events == []
+        assert tr.dropped == 0
+        assert tr.enabled is False
+
+    def test_span_is_shared_noop(self):
+        tr = NullTracer()
+        assert tr.span("a") is tr.span("b")
+
+    def test_default_tracer_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+
+class TestActiveTracer:
+    def test_use_tracer_swaps_and_restores(self):
+        default = get_tracer()
+        tr = Tracer()
+        with use_tracer(tr) as active:
+            assert active is tr
+            assert get_tracer() is tr
+        assert get_tracer() is default
+
+    def test_restores_on_exception(self):
+        default = get_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError
+        assert get_tracer() is default
+
+    def test_set_tracer_none_restores_default(self):
+        tr = Tracer()
+        set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(None)
+        assert isinstance(get_tracer(), NullTracer)
+
+
+class TestSolverInstrumentation:
+    """The hot paths actually emit events through an active tracer."""
+
+    def _names(self, tracer):
+        counts = {}
+        for event in tracer.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts
+
+    def test_distributed_run_traces_every_table2_message(self):
+        from repro.distributed import solve_distributed
+
+        problem, _ = random_problem(20, seed=7, num_chunks=2, capacity=4)
+        tr = Tracer()
+        with use_tracer(tr):
+            outcome = solve_distributed(problem)
+        names = self._names(tr)
+        # One msg.<TYPE> instant per delivered message, per Table II type.
+        for msg_type, count in outcome.stats.messages.items():
+            if count:
+                assert names[f"msg.{msg_type}"] == count
+        assert names["chunk_session"] == problem.num_chunks
+        assert names["dist.tick"] == sum(outcome.ticks_per_chunk)
+        assert names["sim.run"] == problem.num_chunks
+        assert names["commit.chunk"] == problem.num_chunks
+        # Commit spans carry the placement payload.
+        commits = [e for e in tr.events if e.name == "commit.chunk"]
+        for event in commits:
+            assert set(event.args) >= {"chunk", "caches", "copies",
+                                       "fairness", "access", "dissemination"}
+
+    def test_dual_ascent_traces_rounds_and_openings(self):
+        from repro.core import solve_approximation
+
+        problem = grid_problem(4, num_chunks=2)
+        tr = Tracer()
+        with use_tracer(tr):
+            solve_approximation(problem)
+        names = self._names(tr)
+        assert names["dual_ascent.round"] > 0
+        rounds = [e for e in tr.events if e.name == "dual_ascent.round"]
+        for event in rounds:
+            assert set(event.args) >= {"round", "jump", "frozen", "admins",
+                                       "tight_edges", "alpha_active_max"}
+        opens = [e for e in tr.events if e.name == "dual_ascent.admin_open"]
+        for event in opens:
+            assert event.args["payment"] >= 0.0
+            assert event.args["tight_clients"] >= 1
+
+    def test_commit_traces_cost_attribution(self):
+        from repro.core import solve_approximation
+
+        problem = grid_problem(4, num_chunks=2)
+        tr = Tracer()
+        with use_tracer(tr):
+            solve_approximation(problem)
+        modes = [
+            e.args["mode"]
+            for e in tr.events
+            if e.name == "costs.invalidate"
+        ]
+        assert modes  # attribution instants present
+        # Default hops policy: every commit patches incrementally.
+        assert set(modes) <= {"incremental", "full"}
+        assert "incremental" in modes
+        cached = [e for e in tr.events if e.name == "storage.cache"]
+        assert cached
+        for event in cached:
+            assert set(event.args) == {"node", "chunk", "used"}
+
+    def test_runner_wraps_solvers_in_spans(self):
+        from repro.experiments import run_algorithms
+
+        problem = grid_problem(4, num_chunks=1)
+        tr = Tracer()
+        with use_tracer(tr):
+            run_algorithms(problem, ["Appx"])
+        spans = [e for e in tr.events if e.name == "solver.Appx"]
+        assert len(spans) == 1
+        assert spans[0].ph == "X"
+        assert spans[0].args["algorithm"] == "Appx"
+
+    def test_untraced_run_records_nothing(self):
+        from repro.core import solve_approximation
+
+        solve_approximation(grid_problem(4, num_chunks=1))
+        assert get_tracer().events == []
+        assert get_tracer().dropped == 0
+
+    def test_exported_solver_trace_is_schema_valid(self):
+        from repro.distributed import solve_distributed
+
+        problem, _ = random_problem(20, seed=7, num_chunks=1, capacity=4)
+        tr = Tracer()
+        with use_tracer(tr):
+            solve_distributed(problem)
+        doc = tr.export()
+        json.dumps(doc)  # JSON-safe payloads all the way down
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in {"X", "i", "M"}
