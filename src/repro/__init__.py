@@ -11,6 +11,8 @@ Environments"* (ICDCS 2017):
 * :func:`solve_exact` — the brute-force optimum reference (``Brtf``),
 * :func:`solve_hopcount` / :func:`solve_contention` — the comparison
   baselines [13] / [4],
+* :func:`serve_placement` — the request-plane engine: replay a seeded
+  request workload against any placement (:mod:`repro.serve`),
 * metrics (Gini, p-percentile fairness, contention accounting), workload
   generators, and one experiment runner per figure/table of the paper.
 
@@ -60,6 +62,13 @@ from repro.metrics import (
     placement_percentile_fairness,
     total_contention_cost,
 )
+from repro.serve import (
+    ServeConfig,
+    ServeReport,
+    UniformWorkload,
+    ZipfWorkload,
+    serve_placement,
+)
 from repro.workloads import grid_problem, random_problem
 
 __version__ = "1.0.0"
@@ -76,9 +85,13 @@ __all__ = [
     "NullRecorder",
     "NullTracer",
     "Recorder",
+    "ServeConfig",
+    "ServeReport",
     "StageCost",
     "StorageState",
     "Tracer",
+    "UniformWorkload",
+    "ZipfWorkload",
     "__version__",
     "build_manifest",
     "evaluate_contention",
@@ -94,6 +107,7 @@ __all__ = [
     "random_geometric_graph",
     "random_problem",
     "save_placement",
+    "serve_placement",
     "set_recorder",
     "set_tracer",
     "solve_approximation",

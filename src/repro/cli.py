@@ -25,6 +25,12 @@ Gate a change against a committed baseline, and export an event trace::
     repro bench --quick --compare BENCH_PR3.json --threshold 25
     repro solve --random 20 --algorithm dist --trace trace.json
 
+Serve a request workload against a solved placement (accessing phase)::
+
+    repro serve --grid 6 --requests 10000 --workload zipf
+    repro serve --nodes 100 --requests 100000 --workload zipf --seed 2017
+    repro serve --grid 6 --requests 5000 --policy p2c --failure-rate 0.2
+
 Check the architecture/hygiene rules (and optionally types)::
 
     repro lint
@@ -147,6 +153,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a structured event trace of the bench run and write "
         "it as Chrome trace-event JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a request workload against a solved placement",
+    )
+    group = serve.add_mutually_exclusive_group(required=True)
+    group.add_argument("--grid", type=int, metavar="SIDE",
+                       help="SIDE x SIDE grid network")
+    group.add_argument("--nodes", type=int, metavar="N",
+                       help="connected random network with N nodes")
+    serve.add_argument("--chunks", type=int, default=5)
+    serve.add_argument("--capacity", type=int, default=5)
+    serve.add_argument(
+        "--seed", type=int, default=2017,
+        help="seed for the topology, the workload stream, and the engine",
+    )
+    serve.add_argument(
+        "--algorithm", default="appx",
+        choices=sorted(_ALGO_ALIASES) + sorted(_ALGO_ALIASES.values()),
+        help="placement algorithm to serve from (default appx)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=10_000, metavar="N",
+        help="number of requests to replay (default 10000)",
+    )
+    serve.add_argument(
+        "--workload", default="zipf", metavar="NAME",
+        help="request workload generator (see `repro list`; default zipf)",
+    )
+    serve.add_argument(
+        "--policy", default="cheapest", metavar="NAME",
+        help="replica-selection policy (see `repro list`; default cheapest)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="mean request arrivals per simulated second, network-wide "
+        "(default: the workload's)",
+    )
+    serve.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="probability each cache node is dead for the replay "
+        "(default 0; the producer never dies)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print the ServeReport as JSON instead of a table",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event trace of the solve + replay and "
+        "write it as Chrome trace-event JSON",
     )
 
     lint = sub.add_parser(
@@ -319,6 +377,61 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: serve pulls in the solver + delay layers.
+    from repro.serve import (
+        SELECTION_POLICIES,
+        WORKLOADS,
+        ServeConfig,
+    )
+    from repro.serve.engine import serve_placement
+
+    workload_cls = WORKLOADS.get(args.workload)
+    if workload_cls is None:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {sorted(WORKLOADS)}", file=sys.stderr)
+        return 2
+    if args.policy not in SELECTION_POLICIES:
+        print(f"unknown policy {args.policy!r}; "
+              f"choose from {sorted(SELECTION_POLICIES)}", file=sys.stderr)
+        return 2
+    if args.requests < 0:
+        print("--requests must be >= 0", file=sys.stderr)
+        return 2
+    if args.grid is not None:
+        problem = grid_problem(
+            args.grid, num_chunks=args.chunks, capacity=args.capacity
+        )
+        label = f"{args.grid}x{args.grid} grid"
+    else:
+        problem, _ = random_problem(
+            args.nodes, seed=args.seed, num_chunks=args.chunks,
+            capacity=args.capacity,
+        )
+        label = f"random network ({args.nodes} nodes, seed {args.seed})"
+    if args.rate is not None:
+        workload = workload_cls(seed=args.seed, rate=args.rate)
+    else:
+        workload = workload_cls(seed=args.seed)
+    config = ServeConfig(failure_rate=args.failure_rate, seed=args.seed)
+    name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
+    with _maybe_trace(args.trace) as tracer:
+        placement = run_algorithms(problem, [name])[name]
+        report = serve_placement(
+            placement, workload, args.requests,
+            policy=args.policy, config=config,
+        )
+    _write_trace(tracer, args.trace)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"{name} on {label}: {args.requests} requests, "
+              f"workload {report.workload!r}, policy {report.policy!r}")
+        print()
+        print(report.render())
+    return 0
+
+
 def _maybe_trace(path: Optional[str]):
     """Context manager installing a live Tracer when ``path`` is set.
 
@@ -384,11 +497,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list":
+        # Imported lazily, like every serve touchpoint in this module.
+        from repro.serve import SELECTION_POLICIES, WORKLOADS
+
         print("experiments:", ", ".join(sorted(REGISTRY)))
         print("algorithms:", ", ".join(sorted(_ALGO_ALIASES)))
+        print("workloads:", ", ".join(sorted(WORKLOADS)))
+        print("selection policies:", ", ".join(sorted(SELECTION_POLICIES)))
         return 0
     parser.print_help()
     return 1

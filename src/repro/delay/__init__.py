@@ -7,7 +7,7 @@ from repro.delay.dcf import (
     linearized_hop_delay,
     path_delay,
 )
-from repro.delay.latency import LatencyReport, latency_report
+from repro.delay.latency import LatencyReport, latency_report, percentile
 
 __all__ = [
     "DcfParameters",
@@ -17,4 +17,5 @@ __all__ = [
     "hop_delay",
     "linearized_hop_delay",
     "path_delay",
+    "percentile",
 ]

@@ -16,13 +16,38 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.core.costs import CostModel
 from repro.core.placement import CachePlacement
 from repro.delay.dcf import DcfParameters, path_delay
 
 Node = Hashable
+
+
+def percentile(values: Iterable[float], p: float) -> float:
+    """p-th percentile (0..100) of ``values``, linearly interpolated.
+
+    The single shared implementation behind
+    :meth:`LatencyReport.percentile` and the request-level
+    :class:`~repro.serve.stats.ServeReport` quantiles.  ``p=0`` is the
+    minimum, ``p=100`` the maximum; an empty input yields 0.0 and a
+    single sample is returned unchanged for every ``p``.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
 
 
 @dataclass(frozen=True)
@@ -48,20 +73,7 @@ class LatencyReport:
 
     def percentile(self, p: float) -> float:
         """p-th percentile (0..100) of per-fetch latency, interpolated."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        values = sorted(self.fetch_latencies)
-        if not values:
-            return 0.0
-        if len(values) == 1:
-            return values[0]
-        rank = (p / 100.0) * (len(values) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return values[low]
-        frac = rank - low
-        return values[low] * (1 - frac) + values[high] * frac
+        return percentile(self.fetch_latencies, p)
 
     @property
     def median(self) -> float:

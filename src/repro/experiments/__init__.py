@@ -17,6 +17,7 @@ from repro.experiments import (
     fig7_gini,
     fig8_accumulated_cost,
     fig9_per_chunk,
+    serve_fairness,
     table2_messages,
 )
 from repro.experiments.report import ExperimentResult, render_table
@@ -48,6 +49,7 @@ REGISTRY = {
     "approx_ratio": approximation_ratio.run,
     "online_churn": online_churn.run,
     "latency_model": latency_model.run,
+    "serve_fairness": serve_fairness.run,
 }
 
 __all__ = [

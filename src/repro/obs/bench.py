@@ -51,6 +51,10 @@ BENCH_SCHEMA = "repro-bench/1"
 #: (exponential on the large scenario); baselines can be opted in.
 DEFAULT_BENCH_ALGORITHMS = ("Appx", "Dist")
 
+#: The serve section replays this many requests per network node against
+#: the scenario's ``Appx`` placement (small=3000 ... large=10000).
+SERVE_REQUESTS_PER_NODE = 100
+
 
 @dataclass(frozen=True)
 class BenchScenario:
@@ -131,6 +135,50 @@ def bench_algorithm(problem, algorithm: str, repeats: int = 1) -> dict:
     }
 
 
+def bench_serve(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
+    """Benchmark the request-plane engine on this scenario.
+
+    Replays a seeded Zipf workload (``SERVE_REQUESTS_PER_NODE`` requests
+    per node) against a fresh ``Appx`` placement under the default
+    cheapest-cost policy.  The placement solve happens *outside* the
+    timed region — this section gates the serving engine, not the
+    solver.  Shaped like an algorithm entry (``wall_seconds`` /
+    ``counters`` / ``timers``) so ``--compare`` gates it with the same
+    machinery, plus the full deterministic ``report``.
+    """
+    from repro.serve import ZipfWorkload, serve_placement
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    placement = SOLVERS["Appx"](problem)
+    workload = ZipfWorkload(seed=scenario.seed)
+    num_requests = SERVE_REQUESTS_PER_NODE * scenario.num_nodes
+    best_wall: Optional[float] = None
+    best_recorder: Optional[Recorder] = None
+    best_report = None
+    for _ in range(repeats):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            start = time.perf_counter()
+            report = serve_placement(placement, workload, num_requests)
+            wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best_recorder = recorder
+            best_report = report
+    dump = best_recorder.dump()
+    return {
+        "wall_seconds": best_wall,
+        "requests": num_requests,
+        "workload": workload.name,
+        "policy": best_report.policy,
+        "counters": dump["counters"],
+        "timers": dump["timers"],
+        "gauges": dump["gauges"],
+        "report": best_report.to_dict(),
+    }
+
+
 def run_bench(
     scenarios: Sequence[BenchScenario] = DEFAULT_SUITE,
     algorithms: Iterable[str] = DEFAULT_BENCH_ALGORITHMS,
@@ -149,6 +197,7 @@ def run_bench(
                     name: bench_algorithm(problem, name, repeats=repeats)
                     for name in algorithms
                 },
+                "serve": bench_serve(problem, scenario, repeats=repeats),
             }
         )
     return {
@@ -228,6 +277,16 @@ def render_bench(result: dict) -> str:
                 ),
             )
         )
+        serve = scenario.get("serve")
+        if serve:
+            report = serve["report"]
+            parts.append(
+                f"serve ({serve['workload']}/{serve['policy']}): "
+                f"{serve['requests']} requests in "
+                f"{serve['wall_seconds']:.3f} s wall; "
+                f"p99 latency {report['latency_p99']:.2f} sim s, "
+                f"served gini {report['served_gini']:.4f}"
+            )
     return "\n\n".join(parts)
 
 

@@ -160,6 +160,22 @@ def compare_bench(
             factor,
             min_abs_seconds,
         )
+        # The serve section (request-plane engine) is shaped like an
+        # algorithm entry, so the same machinery gates it; baselines
+        # written before the serve engine existed are skipped.
+        base_serve = base_scenario.get("serve")
+        cur_serve = cur_scenario.get("serve")
+        if base_serve is not None and cur_serve is not None:
+            _compare_scenario(
+                comparison,
+                name,
+                {"serve": base_serve},
+                {"serve": cur_serve},
+                factor,
+                min_abs_seconds,
+            )
+        elif base_serve is not None or cur_serve is not None:
+            comparison.skipped.append(f"{name}/serve")
     return comparison
 
 

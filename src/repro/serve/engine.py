@@ -1,0 +1,357 @@
+"""The request-plane event loop: replay a workload against a placement.
+
+This is the accessing phase of the paper (Sec. III, Eq. 2) promoted from
+a static cost summation to a served system.  A
+:class:`~repro.serve.workloads.Workload` stream is replayed on the
+deterministic discrete-event :class:`~repro.distributed.simulator.Simulator`
+against the *final* storage state of any
+:class:`~repro.core.placement.CachePlacement`:
+
+* **Per-cache FIFO service queues.**  Each serving node transmits one
+  chunk at a time; a request arriving at a busy server waits in its
+  queue, so queueing delay emerges from load instead of being assumed.
+* **Service times from the DCF model.**  A request served by ``s`` for
+  client ``j`` occupies ``s`` for the full Yang et al. path delay
+  ``Σ d(k, c)`` along ``PATH(s, j)`` (:func:`repro.delay.dcf.path_delay`)
+  on the final storage loads — the same model
+  :func:`repro.delay.latency_report` prices single fetches with.
+* **Replica selection is pluggable** (:mod:`repro.serve.selection`):
+  the paper's cheapest-cost semantics, least-loaded, or power-of-two
+  choices, all with producer fallback.
+* **Failure injection.**  With ``failure_rate > 0`` a seeded coin
+  marks cache nodes dead before the replay; a request routed to a dead
+  replica fails over to the policy's next choice (and ultimately the
+  producer, which never dies), paying ``retry_penalty`` detection delay
+  per failed attempt.  Failovers, retried requests, and requests whose
+  total latency exceeded ``timeout`` are all accounted in the
+  :class:`~repro.serve.stats.ServeReport`.
+
+Determinism: the workload stream, the failure coin, and any randomized
+policy all draw from seeded RNGs, and the simulator breaks timestamp
+ties by sequence number — two replays of one configuration produce
+byte-identical report JSON.
+
+Observability: counters ``serve.requests`` / ``serve.failovers`` /
+``serve.timeouts``, gauge ``serve.queue_depth``, and trace events
+``serve.session`` (span) / ``serve.request`` (one instant per completed
+request) on the ``serve`` track — all zero-cost when no recorder or
+tracer is installed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.core.costs import CostModel
+from repro.core.placement import CachePlacement
+from repro.delay.dcf import DcfParameters, path_delay
+from repro.distributed.simulator import Simulator
+from repro.errors import ProblemError
+from repro.obs import get_recorder, get_tracer
+from repro.serve.selection import ReplicaSelector, ServeView, make_selector
+from repro.serve.stats import ServeReport, build_report
+from repro.serve.workloads import Request, Workload
+
+Node = Hashable
+
+DEFAULT_ENGINE_SEED = 2017
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine knobs (all deterministic given ``seed``).
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability that each cache node is dead for the whole replay
+        (seeded coin per node; the producer never dies).
+    timeout:
+        A completed request whose end-to-end latency exceeds this many
+        simulated seconds counts as a timeout (accounting only — the
+        transfer still completes, as a TCP tail would).
+    retry_penalty:
+        Detection delay added to a request's latency for every dead
+        replica it tried before landing (RTT + timer, in sim seconds).
+    dcf:
+        Timing constants for the DCF service-time model.
+    seed:
+        Seed for the engine RNG (failure coin, randomized policies).
+    """
+
+    failure_rate: float = 0.0
+    timeout: float = 60.0
+    retry_penalty: float = 0.05
+    dcf: DcfParameters = DcfParameters()
+    seed: int = DEFAULT_ENGINE_SEED
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ProblemError(
+                f"failure_rate must be in [0, 1], got {self.failure_rate}"
+            )
+        if self.timeout < 0:
+            raise ProblemError(f"timeout must be >= 0, got {self.timeout}")
+        if self.retry_penalty < 0:
+            raise ProblemError(
+                f"retry_penalty must be >= 0, got {self.retry_penalty}"
+            )
+
+
+class ServeEngine(ServeView):
+    """One replay of a request stream against one placement.
+
+    Build it, call :meth:`run`, read the :class:`ServeReport`.  The
+    engine is also the :class:`~repro.serve.selection.ServeView` its
+    policy observes the network through.
+    """
+
+    def __init__(
+        self,
+        placement: CachePlacement,
+        workload: Workload,
+        num_requests: int,
+        policy: Union[str, ReplicaSelector] = "cheapest",
+        config: ServeConfig = ServeConfig(),
+    ) -> None:
+        if num_requests < 0:
+            raise ProblemError(
+                f"num_requests must be >= 0, got {num_requests}"
+            )
+        self.placement = placement
+        self.problem = placement.problem
+        self.workload = workload
+        self.num_requests = num_requests
+        self.config = config
+        self.selector = make_selector(policy)
+        self.rng = random.Random(config.seed)
+        self.selector.bind(self)
+
+        graph = self.problem.graph
+        self._storage = placement.final_storage()
+        self._costs = CostModel(graph, self._storage, self.problem.path_policy)
+        # Chunk → candidate servers: caches in deterministic order, the
+        # producer appended last (the universal fallback).
+        producer = self.problem.producer
+        self._candidates: List[List[Node]] = []
+        for chunk in placement.chunks:
+            servers = sorted(
+                (node for node in chunk.caches if node != producer), key=str
+            )
+            servers.append(producer)
+            self._candidates.append(servers)
+        # Seeded failure injection over the union of cache nodes.
+        self._dead = frozenset(
+            node
+            for node in sorted(
+                {n for c in placement.chunks for n in c.caches if n != producer},
+                key=str,
+            )
+            if self.rng.random() < config.failure_rate
+        )
+        # Per-server FIFO: queued (request, penalty, attempts) triples +
+        # a busy flag; queue_depth = waiting + in-service.
+        self._queues: Dict[Node, Deque[Tuple[Request, float, int]]] = {}
+        self._busy: Dict[Node, bool] = {}
+        # (server, client) → DCF service seconds; the storage state is
+        # frozen during a replay, so this cache is exact.
+        self._service_cache: Dict[Tuple[Node, Node], float] = {}
+        self._cost_rows: Dict[Node, Dict[Node, float]] = {}
+
+        # Tallies.
+        self._latencies: List[float] = []
+        self._queue_delays: List[float] = []
+        self._served: Dict[Node, int] = {
+            node: 0 for node in graph.nodes()
+        }
+        self._timeouts = 0
+        self._failovers = 0
+        self._retried_requests = 0
+        self._self_served = 0
+        self._makespan = 0.0
+
+    # -- ServeView -----------------------------------------------------
+    def cost(self, server: Node, client: Node) -> float:
+        row = self._cost_rows.get(server)
+        if row is None:
+            row = self._costs.all_contention_costs(server)
+            self._cost_rows[server] = row
+        return row[client]
+
+    def queue_depth(self, server: Node) -> int:
+        queue = self._queues.get(server)
+        depth = len(queue) if queue else 0
+        if self._busy.get(server):
+            depth += 1
+        return depth
+
+    # -- the replay ----------------------------------------------------
+    def run(self) -> ServeReport:
+        """Replay the stream; returns the summary report."""
+        obs = get_recorder()
+        trace = get_tracer()
+        sim = Simulator()
+        stream = self.workload.stream(
+            self.problem.clients, self.problem.num_chunks
+        )
+        remaining = self.num_requests
+
+        def schedule_next() -> None:
+            nonlocal remaining
+            if remaining <= 0:
+                return
+            remaining -= 1
+            request = next(stream)
+            sim.schedule_at(request.time, lambda: arrive(request))
+
+        def arrive(request: Request) -> None:
+            schedule_next()  # keep exactly one pending arrival queued
+            candidates = list(self._candidates[request.chunk])
+            attempts = 0
+            while True:
+                server = self.selector.choose(
+                    request.client, request.chunk, candidates
+                )
+                if server not in self._dead:
+                    break
+                # Dead replica: fail over to the policy's next choice.
+                attempts += 1
+                self._failovers += 1
+                obs.count("serve.failovers")
+                candidates.remove(server)
+            if attempts:
+                self._retried_requests += 1
+            enqueue(server, request, attempts * self.config.retry_penalty,
+                    attempts)
+
+        def enqueue(
+            server: Node, request: Request, penalty: float, attempts: int
+        ) -> None:
+            if self._busy.get(server):
+                self._queues.setdefault(server, deque()).append(
+                    (request, penalty, attempts)
+                )
+                obs.gauge("serve.queue_depth", self.queue_depth(server))
+            else:
+                self._busy[server] = True
+                start_service(server, request, penalty, attempts)
+
+        def start_service(
+            server: Node, request: Request, penalty: float, attempts: int
+        ) -> None:
+            service = self._service_time(server, request.client)
+            sim.schedule(
+                service,
+                lambda: complete(server, request, penalty, attempts, service),
+            )
+
+        def complete(
+            server: Node,
+            request: Request,
+            penalty: float,
+            attempts: int,
+            service: float,
+        ) -> None:
+            latency = (sim.now - request.time) + penalty
+            queue_delay = latency - service - penalty
+            self._latencies.append(latency)
+            self._queue_delays.append(queue_delay)
+            self._served[server] += 1
+            if server == request.client:
+                self._self_served += 1
+            if latency > self.config.timeout:
+                self._timeouts += 1
+                obs.count("serve.timeouts")
+            self._makespan = sim.now
+            obs.count("serve.requests")
+            if trace.enabled:
+                trace.instant(
+                    "serve.request",
+                    track="serve",
+                    args={
+                        "client": str(request.client),
+                        "chunk": request.chunk,
+                        "server": str(server),
+                        "latency_s": latency,
+                        "queue_delay_s": queue_delay,
+                        "attempts": attempts + 1,
+                        "sim_time": sim.now,
+                    },
+                )
+            queue = self._queues.get(server)
+            if queue:
+                next_request, next_penalty, next_attempts = queue.popleft()
+                start_service(server, next_request, next_penalty, next_attempts)
+            else:
+                self._busy[server] = False
+
+        with trace.span(
+            "serve.session",
+            track="serve",
+            args=(
+                {
+                    "workload": self.workload.name,
+                    "policy": self.selector.name,
+                    "algorithm": self.placement.algorithm,
+                    "requests": self.num_requests,
+                    "dead_caches": len(self._dead),
+                }
+                if trace.enabled
+                else None
+            ),
+        ), obs.timer("serve.replay"):
+            schedule_next()
+            sim.run(max_events=max(10_000_000, 4 * self.num_requests))
+        return build_report(
+            workload=self.workload.name,
+            policy=self.selector.name,
+            algorithm=self.placement.algorithm,
+            requests=self.num_requests,
+            latencies=self._latencies,
+            queue_delays=self._queue_delays,
+            served_loads=self._served,
+            producer=self.problem.producer,
+            timeouts=self._timeouts,
+            failovers=self._failovers,
+            retried_requests=self._retried_requests,
+            self_served=self._self_served,
+            makespan=self._makespan,
+        )
+
+    def _service_time(self, server: Node, client: Node) -> float:
+        if server == client:
+            return 0.0
+        key = (server, client)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            path = self._costs.path(server, client)
+            cached = path_delay(
+                self.problem.graph, path, self._storage, self.config.dcf
+            )
+            self._service_cache[key] = cached
+        return cached
+
+
+def serve_placement(
+    placement: CachePlacement,
+    workload: Workload,
+    num_requests: int,
+    policy: Union[str, ReplicaSelector] = "cheapest",
+    config: Optional[ServeConfig] = None,
+) -> ServeReport:
+    """Replay ``num_requests`` of ``workload`` against ``placement``.
+
+    The one-call entry point: builds a :class:`ServeEngine`, runs it,
+    returns the :class:`~repro.serve.stats.ServeReport`.
+    """
+    engine = ServeEngine(
+        placement,
+        workload,
+        num_requests,
+        policy=policy,
+        config=config if config is not None else ServeConfig(),
+    )
+    return engine.run()

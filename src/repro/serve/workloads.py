@@ -1,0 +1,262 @@
+"""Deterministic request-stream generators for the accessing phase.
+
+The paper prices the accessing phase once per (client, chunk) pair; real
+edge caches instead see a *request process* — skewed chunk popularity,
+uneven per-node demand, and occasional flash crowds (cf. FairCache's
+served-load evaluation and the Zipf request processes of Ioannidis &
+Yeh's adaptive caching networks).  This module turns those processes
+into streams the :mod:`repro.serve.engine` can replay against any
+placement.
+
+Every generator is
+
+* **seeded** — a fresh ``random.Random(seed)`` per :meth:`Workload.stream`
+  call, so the same workload object yields a bit-identical stream every
+  time it is iterated (the engine's determinism guarantee starts here);
+* **iterator-based** — requests are produced one at a time from O(1)
+  generator state, so a million-request replay never materializes a
+  request list;
+* **Poisson in time** — exponential interarrivals at ``rate`` requests
+  per simulated second across the whole network (flash crowds add a
+  burst window on top).
+
+The :data:`WORKLOADS` registry maps CLI names to generator classes;
+``repro list`` enumerates it.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, List, Sequence, Type
+
+from repro.errors import ProblemError
+
+Node = Hashable
+
+DEFAULT_SEED = 2017
+
+#: Mean request arrivals per simulated second, network-wide.  DCF chunk
+#: transfers take ~10 s across a grid (0.73 s transmission per hop times
+#: the contention multiplier), so 0.5 req/s keeps the default replay
+#: near-stable; raise it to study overload.
+DEFAULT_RATE = 0.5
+
+#: Per-stream scratch state returned by :meth:`Workload._prepare`.
+StreamState = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: ``client`` wants ``chunk`` at time ``time``."""
+
+    index: int
+    time: float
+    client: Node
+    chunk: int
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Base request-stream generator (Poisson arrivals, uniform draws).
+
+    Subclasses override :meth:`_prepare` / :meth:`_pick_client` /
+    :meth:`_pick_chunk` / :meth:`_interarrival`.  All stream state lives
+    in the per-call ``rng`` and the ``state`` dict ``_prepare`` returns,
+    so one workload object can be iterated any number of times — even
+    concurrently — and every stream is bit-identical.
+    """
+
+    name = "uniform"
+
+    seed: int = DEFAULT_SEED
+    rate: float = DEFAULT_RATE
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ProblemError(f"request rate must be > 0, got {self.rate}")
+
+    def stream(
+        self, clients: Sequence[Node], num_chunks: int
+    ) -> Iterator[Request]:
+        """An endless deterministic request stream (seeded per call)."""
+        if not clients:
+            raise ProblemError("workload needs at least one client")
+        if num_chunks < 1:
+            raise ProblemError("workload needs at least one chunk")
+        clients = list(clients)
+        rng = random.Random(self.seed)
+        state = self._prepare(rng, clients, num_chunks)
+        return self._generate(rng, state, clients, num_chunks)
+
+    def _generate(
+        self,
+        rng: random.Random,
+        state: StreamState,
+        clients: List[Node],
+        num_chunks: int,
+    ) -> Iterator[Request]:
+        now = 0.0
+        index = 0
+        while True:
+            now += self._interarrival(rng, now)
+            yield Request(
+                index=index,
+                time=now,
+                client=self._pick_client(rng, clients, state),
+                chunk=self._pick_chunk(rng, num_chunks, now, state),
+            )
+            index += 1
+
+    # -- hooks ---------------------------------------------------------
+    def _prepare(
+        self, rng: random.Random, clients: List[Node], num_chunks: int
+    ) -> StreamState:
+        """Per-stream setup (weight tables etc.); default: nothing."""
+        return {}
+
+    def _interarrival(self, rng: random.Random, now: float) -> float:
+        return rng.expovariate(self.rate)
+
+    def _pick_client(
+        self, rng: random.Random, clients: List[Node], state: StreamState
+    ) -> Node:
+        return clients[rng.randrange(len(clients))]
+
+    def _pick_chunk(
+        self, rng: random.Random, num_chunks: int, now: float, state: StreamState
+    ) -> int:
+        return rng.randrange(num_chunks)
+
+
+@dataclass(frozen=True)
+class UniformWorkload(Workload):
+    """Every client and every chunk equally likely — the paper's implicit
+    "all nodes request all chunks" accessing phase, as a process."""
+
+    name = "uniform"
+
+
+@dataclass(frozen=True)
+class ZipfWorkload(Workload):
+    """Zipf-skewed chunk popularity: chunk ``k`` drawn ∝ ``1/(k+1)^s``.
+
+    The standard cache-workload model (Ioannidis & Yeh drive their
+    adaptive caching networks with exactly this); ``exponent`` ≈ 0.8–1.2
+    covers most measured content catalogs.
+    """
+
+    name = "zipf"
+
+    exponent: float = 0.8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.exponent < 0:
+            raise ProblemError(
+                f"zipf exponent must be >= 0, got {self.exponent}"
+            )
+
+    def _prepare(
+        self, rng: random.Random, clients: List[Node], num_chunks: int
+    ) -> StreamState:
+        total = 0.0
+        cdf: List[float] = []
+        for k in range(num_chunks):
+            total += 1.0 / float(k + 1) ** self.exponent
+            cdf.append(total)
+        return {"chunk_cdf": cdf}
+
+    def _pick_chunk(
+        self, rng: random.Random, num_chunks: int, now: float, state: StreamState
+    ) -> int:
+        cdf = state["chunk_cdf"]
+        return bisect_left(cdf, rng.random() * cdf[-1])
+
+
+@dataclass(frozen=True)
+class HotspotWorkload(Workload):
+    """Uneven per-node demand: a seeded fraction of clients are "hot" and
+    issue ``boost``× the base demand (think a lecture hall next to quiet
+    offices)."""
+
+    name = "hotspot"
+
+    hot_fraction: float = 0.2
+    boost: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ProblemError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        if self.boost < 1.0:
+            raise ProblemError(f"boost must be >= 1, got {self.boost}")
+
+    def _prepare(
+        self, rng: random.Random, clients: List[Node], num_chunks: int
+    ) -> StreamState:
+        hot_count = min(len(clients), max(1, round(self.hot_fraction * len(clients))))
+        hot_indices = set(rng.sample(range(len(clients)), hot_count))
+        cdf: List[float] = []
+        total = 0.0
+        for i in range(len(clients)):
+            total += self.boost if i in hot_indices else 1.0
+            cdf.append(total)
+        return {"client_cdf": cdf}
+
+    def _pick_client(
+        self, rng: random.Random, clients: List[Node], state: StreamState
+    ) -> Node:
+        cdf = state["client_cdf"]
+        return clients[bisect_left(cdf, rng.random() * cdf[-1])]
+
+
+@dataclass(frozen=True)
+class FlashCrowdWorkload(ZipfWorkload):
+    """Zipf base traffic plus a flash crowd: inside the window
+    ``[burst_start, burst_start + burst_duration)`` the arrival rate is
+    multiplied by ``burst_factor`` and every burst request targets the
+    most popular chunk (chunk 0) — the viral-video scenario."""
+
+    name = "flash"
+
+    burst_start: float = 20.0
+    burst_duration: float = 10.0
+    burst_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_start < 0 or self.burst_duration < 0:
+            raise ProblemError("burst window must be non-negative")
+        if self.burst_factor < 1.0:
+            raise ProblemError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+
+    def _in_burst(self, now: float) -> bool:
+        return (
+            self.burst_start <= now < self.burst_start + self.burst_duration
+        )
+
+    def _interarrival(self, rng: random.Random, now: float) -> float:
+        rate = self.rate * (self.burst_factor if self._in_burst(now) else 1.0)
+        return rng.expovariate(rate)
+
+    def _pick_chunk(
+        self, rng: random.Random, num_chunks: int, now: float, state: StreamState
+    ) -> int:
+        if self._in_burst(now):
+            return 0
+        return super()._pick_chunk(rng, num_chunks, now, state)
+
+
+#: CLI name → workload class (``repro serve --workload`` / ``repro list``).
+WORKLOADS: Dict[str, Type[Workload]] = {
+    UniformWorkload.name: UniformWorkload,
+    ZipfWorkload.name: ZipfWorkload,
+    HotspotWorkload.name: HotspotWorkload,
+    FlashCrowdWorkload.name: FlashCrowdWorkload,
+}

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import solve_approximation
 from repro.baselines import solve_hopcount
-from repro.delay import DcfParameters, LatencyReport, latency_report
+from repro.delay import DcfParameters, LatencyReport, latency_report, percentile
 from repro.metrics import evaluate_contention
 from repro.workloads import grid_problem
 
@@ -88,3 +88,45 @@ class TestModelBehavior:
         nearest = latency_report(placement, reassign=True)
         recorded = latency_report(placement, reassign=False)
         assert nearest.mean <= 1.1 * recorded.mean + 1e-9
+
+
+class TestPercentileFunction:
+    """Edge cases of the shared interpolated percentile."""
+
+    def test_p0_is_min_and_p100_is_max(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_sample_every_percentile(self):
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([4.2], p) == 4.2
+
+    def test_empty_input_is_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile((), 0) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_linear_interpolation(self):
+        # rank (p/100)*(n-1): p=25 over [0,10] -> 2.5
+        assert percentile([0.0, 10.0], 25) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_input_order_irrelevant(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile(
+            [1.0, 2.0, 3.0], 50
+        )
+
+    def test_accepts_any_iterable(self):
+        assert percentile(iter([2.0, 1.0]), 100) == 2.0
+
+    def test_report_method_delegates(self):
+        report = LatencyReport(
+            fetch_latencies=(1.0, 2.0, 3.0), per_chunk_completion={}
+        )
+        assert report.percentile(50) == percentile([1.0, 2.0, 3.0], 50)

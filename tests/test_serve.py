@@ -1,0 +1,446 @@
+"""Unit tests for the request-plane serving engine (:mod:`repro.serve`).
+
+The contract under test, in order of importance: *determinism* (same
+seed → bit-identical request streams and byte-identical reports, for
+every workload generator and every selection policy), then the workload
+shapes, the selection semantics, failure injection, observability
+hookup, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.baselines import solve_hopcount
+from repro.core import solve_approximation
+from repro.errors import ProblemError
+from repro.obs import Recorder, Tracer, use_recorder, use_tracer
+from repro.serve import (
+    SELECTION_POLICIES,
+    WORKLOADS,
+    CheapestCost,
+    FlashCrowdWorkload,
+    HotspotWorkload,
+    LeastLoaded,
+    PowerOfTwoChoices,
+    ServeConfig,
+    ServeReport,
+    UniformWorkload,
+    ZipfWorkload,
+    make_selector,
+    serve_placement,
+)
+from repro.workloads import grid_problem
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return solve_approximation(grid_problem(4, num_chunks=3))
+
+
+def take(workload, clients, num_chunks, n):
+    return list(
+        itertools.islice(workload.stream(clients, num_chunks), n)
+    )
+
+
+CLIENTS = list(range(12))
+
+
+class TestWorkloadStreams:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_same_seed_same_stream(self, name):
+        workload = WORKLOADS[name](seed=7)
+        a = take(workload, CLIENTS, 4, 200)
+        b = take(workload, CLIENTS, 4, 200)
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_different_seed_different_stream(self, name):
+        a = take(WORKLOADS[name](seed=1), CLIENTS, 4, 100)
+        b = take(WORKLOADS[name](seed=2), CLIENTS, 4, 100)
+        assert a != b
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_stream_shape(self, name):
+        requests = take(WORKLOADS[name](seed=3), CLIENTS, 4, 150)
+        assert [r.index for r in requests] == list(range(150))
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        assert all(r.client in CLIENTS for r in requests)
+        assert all(0 <= r.chunk < 4 for r in requests)
+
+    def test_interleaved_streams_independent(self):
+        # Two live streams from one workload object must not share
+        # state: interleaving them changes nothing.
+        workload = HotspotWorkload(seed=11)
+        solo = take(workload, CLIENTS, 4, 50)
+        s1 = workload.stream(CLIENTS, 4)
+        s2 = workload.stream(CLIENTS, 4)
+        interleaved = []
+        for _ in range(50):
+            interleaved.append(next(s1))
+            next(s2)
+        assert interleaved == solo
+
+    def test_zipf_skews_toward_low_chunks(self):
+        requests = take(ZipfWorkload(seed=5, exponent=1.2), CLIENTS, 5, 3000)
+        counts = [0] * 5
+        for r in requests:
+            counts[r.chunk] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[4] * 2
+
+    def test_uniform_covers_chunks(self):
+        requests = take(UniformWorkload(seed=5), CLIENTS, 5, 2000)
+        assert {r.chunk for r in requests} == set(range(5))
+
+    def test_hotspot_concentrates_clients(self):
+        workload = HotspotWorkload(seed=9, hot_fraction=0.25, boost=8.0)
+        requests = take(workload, CLIENTS, 2, 4000)
+        counts = {c: 0 for c in CLIENTS}
+        for r in requests:
+            counts[r.client] += 1
+        top3 = sum(sorted(counts.values())[-3:])
+        # 3 of 12 clients at 8x demand hold 8*3/(8*3+9) ~ 73% of traffic.
+        assert top3 > 0.5 * len(requests)
+
+    def test_flash_crowd_burst_targets_chunk_zero(self):
+        workload = FlashCrowdWorkload(
+            seed=13, rate=5.0, burst_start=2.0, burst_duration=4.0,
+            burst_factor=20.0,
+        )
+        requests = take(workload, CLIENTS, 5, 2000)
+        in_burst = [r for r in requests if 2.0 <= r.time < 6.0]
+        out_burst = [r for r in requests if not 2.0 <= r.time < 6.0]
+        assert in_burst and out_burst
+        assert all(r.chunk == 0 for r in in_burst)
+        # 20x the arrival rate inside a window a fraction of the span.
+        span = requests[-1].time
+        burst_share = len(in_burst) / len(requests)
+        assert burst_share > 4.0 / span  # far above the uniform share
+
+    def test_validation(self):
+        with pytest.raises(ProblemError):
+            UniformWorkload(rate=0.0)
+        with pytest.raises(ProblemError):
+            ZipfWorkload(exponent=-1.0)
+        with pytest.raises(ProblemError):
+            HotspotWorkload(hot_fraction=1.5)
+        with pytest.raises(ProblemError):
+            FlashCrowdWorkload(burst_factor=0.5)
+        with pytest.raises(ProblemError):
+            UniformWorkload().stream([], 3)
+        with pytest.raises(ProblemError):
+            UniformWorkload().stream(CLIENTS, 0)
+
+
+class _StaticView:
+    """A scripted ServeView for selection-policy unit tests."""
+
+    def __init__(self, costs, depths, rng=None):
+        import random
+
+        self._costs = costs
+        self._depths = depths
+        self.rng = rng or random.Random(0)
+
+    def cost(self, server, client):
+        return self._costs[server]
+
+    def queue_depth(self, server):
+        return self._depths[server]
+
+
+class TestSelection:
+    def test_cheapest_picks_min_cost(self):
+        selector = CheapestCost()
+        selector.bind(_StaticView({"a": 3.0, "b": 1.0, "p": 2.0}, {}))
+        assert selector.choose(0, 0, ["a", "b", "p"]) == "b"
+
+    def test_cheapest_tie_prefers_earlier(self):
+        selector = CheapestCost()
+        selector.bind(_StaticView({"a": 1.0, "b": 1.0, "p": 1.0}, {}))
+        assert selector.choose(0, 0, ["a", "b", "p"]) == "a"
+
+    def test_least_loaded_ignores_cost(self):
+        selector = LeastLoaded()
+        selector.bind(
+            _StaticView({"a": 0.5, "b": 9.0}, {"a": 4, "b": 0})
+        )
+        assert selector.choose(0, 0, ["a", "b"]) == "b"
+
+    def test_least_loaded_breaks_ties_by_cost(self):
+        selector = LeastLoaded()
+        selector.bind(
+            _StaticView({"a": 2.0, "b": 1.0}, {"a": 1, "b": 1})
+        )
+        assert selector.choose(0, 0, ["a", "b"]) == "b"
+
+    def test_p2c_single_candidate(self):
+        selector = PowerOfTwoChoices()
+        selector.bind(_StaticView({"a": 1.0}, {"a": 9}))
+        assert selector.choose(0, 0, ["a"]) == "a"
+
+    def test_p2c_prefers_less_loaded_sample(self):
+        import random
+
+        selector = PowerOfTwoChoices()
+        view = _StaticView(
+            {"a": 1.0, "b": 1.0}, {"a": 5, "b": 0}, rng=random.Random(4)
+        )
+        selector.bind(view)
+        # With two candidates, both are always sampled: "b" must win.
+        for _ in range(10):
+            assert selector.choose(0, 0, ["a", "b"]) == "b"
+
+    def test_make_selector(self):
+        assert isinstance(make_selector("cheapest"), CheapestCost)
+        passthrough = LeastLoaded()
+        assert make_selector(passthrough) is passthrough
+        with pytest.raises(KeyError):
+            make_selector("nope")
+
+    def test_registry_names_match_classes(self):
+        for name, cls in SELECTION_POLICIES.items():
+            assert cls.name == name
+        for name, cls in WORKLOADS.items():
+            assert cls.name == name
+
+
+class TestEngineDeterminism:
+    @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("policy", sorted(SELECTION_POLICIES))
+    def test_report_byte_identical(self, placement, workload_name, policy):
+        workload = WORKLOADS[workload_name](seed=21)
+        config = ServeConfig(failure_rate=0.3, seed=21)
+        first = serve_placement(
+            placement, workload, 250, policy=policy, config=config
+        )
+        second = serve_placement(
+            placement, workload, 250, policy=policy, config=config
+        )
+        assert first.to_json() == second.to_json()
+
+    def test_engine_seed_changes_failures(self, placement):
+        workload = ZipfWorkload(seed=21)
+        reports = [
+            serve_placement(
+                placement, workload, 300,
+                config=ServeConfig(failure_rate=0.5, seed=seed),
+            )
+            for seed in (1, 2, 3, 4)
+        ]
+        assert len({r.failovers for r in reports}) > 1
+
+
+class TestEngineSemantics:
+    def test_all_requests_complete(self, placement):
+        report = serve_placement(placement, UniformWorkload(seed=2), 400)
+        assert report.completed == report.requests == 400
+        assert report.makespan > 0
+        assert report.throughput == pytest.approx(400 / report.makespan)
+        assert sum(report.served_loads.values()) + report.producer_served == 400
+
+    def test_latency_percentiles_ordered(self, placement):
+        r = serve_placement(placement, ZipfWorkload(seed=2), 400)
+        assert 0 <= r.latency_p50 <= r.latency_p95 <= r.latency_p99
+        assert r.latency_p99 <= r.latency_max
+
+    def test_all_dead_falls_back_to_producer(self, placement):
+        report = serve_placement(
+            placement, ZipfWorkload(seed=2), 200,
+            config=ServeConfig(failure_rate=1.0),
+        )
+        assert report.producer_served == 200
+        assert report.failovers > 0
+        assert report.retried_requests > 0
+        assert all(v == 0 for v in report.served_loads.values())
+
+    def test_no_failures_no_failovers(self, placement):
+        report = serve_placement(placement, ZipfWorkload(seed=2), 200)
+        assert report.failovers == 0
+        assert report.retried_requests == 0
+
+    def test_retry_penalty_raises_latency(self, placement):
+        workload = ZipfWorkload(seed=2)
+        cheap = serve_placement(
+            placement, workload, 200,
+            config=ServeConfig(failure_rate=1.0, retry_penalty=0.0, seed=5),
+        )
+        dear = serve_placement(
+            placement, workload, 200,
+            config=ServeConfig(failure_rate=1.0, retry_penalty=2.0, seed=5),
+        )
+        assert dear.latency_mean > cheap.latency_mean
+
+    def test_tight_timeout_counts_all(self, placement):
+        report = serve_placement(
+            placement, ZipfWorkload(seed=2), 150,
+            config=ServeConfig(timeout=0.0),
+        )
+        # Every remotely-served request exceeds a zero timeout (and a
+        # self-serve can too, when it queues behind another transfer at
+        # its own node).
+        assert report.timeouts >= report.completed - report.self_served
+        assert report.timeouts <= report.completed
+
+    def test_zero_requests(self, placement):
+        report = serve_placement(placement, ZipfWorkload(seed=2), 0)
+        assert report.completed == 0
+        assert report.makespan == 0.0
+        assert report.throughput == 0.0
+        assert report.latency_p99 == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ProblemError):
+            ServeConfig(failure_rate=1.5)
+        with pytest.raises(ProblemError):
+            ServeConfig(timeout=-1.0)
+        with pytest.raises(ProblemError):
+            ServeConfig(retry_penalty=-0.1)
+
+    def test_hopcount_concentrates_served_load(self, placement):
+        problem = placement.problem
+        hopc = solve_hopcount(problem)
+        workload = ZipfWorkload(seed=2)
+        fair = serve_placement(placement, workload, 500)
+        lumpy = serve_placement(hopc, workload, 500)
+        assert fair.served_gini < lumpy.served_gini
+
+
+class TestObservability:
+    def test_counters_recorded(self, placement):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            report = serve_placement(
+                placement, ZipfWorkload(seed=2), 200,
+                config=ServeConfig(failure_rate=0.5, timeout=1.0),
+            )
+        dump = recorder.dump()
+        assert dump["counters"]["serve.requests"] == report.completed
+        assert dump["counters"]["serve.failovers"] == report.failovers
+        assert dump["counters"]["serve.timeouts"] == report.timeouts
+        assert "serve.replay" in dump["timers"]
+
+    def test_trace_events_emitted(self, placement):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = serve_placement(placement, ZipfWorkload(seed=2), 50)
+        names = [event.name for event in tracer.events]
+        assert "serve.session" in names
+        assert names.count("serve.request") == report.completed
+
+    def test_report_identical_with_and_without_obs(self, placement):
+        # Zero-overhead contract: instrumentation must not perturb the
+        # replay.
+        bare = serve_placement(placement, ZipfWorkload(seed=2), 150)
+        with use_recorder(Recorder()), use_tracer(Tracer()):
+            instrumented = serve_placement(
+                placement, ZipfWorkload(seed=2), 150
+            )
+        assert bare.to_json() == instrumented.to_json()
+
+
+class TestServeReport:
+    def test_round_trip(self, placement):
+        report = serve_placement(placement, ZipfWorkload(seed=2), 100)
+        clone = ServeReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.to_json() == report.to_json()
+
+    def test_json_is_valid_and_schema_tagged(self, placement):
+        report = serve_placement(placement, ZipfWorkload(seed=2), 100)
+        data = json.loads(report.to_json())
+        assert data["schema"] == "repro-serve/1"
+        assert data["requests"] == 100
+
+    def test_render_mentions_key_stats(self, placement):
+        text = serve_placement(
+            placement, ZipfWorkload(seed=2), 100
+        ).render()
+        assert "served-load Gini" in text
+        assert "throughput" in text
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--grid", "4"])
+        assert args.command == "serve"
+        assert args.workload == "zipf"
+        assert args.policy == "cheapest"
+        assert args.requests == 10_000
+        assert args.failure_rate == 0.0
+        assert args.trace is None
+
+    def test_topology_required(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_grid_runs(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "--grid", "4", "--chunks", "2", "--requests", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served-load Gini" in out
+
+    def test_json_output_deterministic(self, capsys):
+        from repro.cli import main
+
+        argv = [
+            "serve", "--grid", "4", "--chunks", "2", "--requests", "150",
+            "--workload", "zipf", "--seed", "2017", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert json.loads(first)["schema"] == "repro-serve/1"
+
+    def test_unknown_workload_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "--grid", "4", "--workload", "bogus",
+        ]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "--grid", "4", "--policy", "bogus",
+        ]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_list_mentions_serve_registries(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads:" in out
+        assert "zipf" in out
+        assert "selection policies:" in out
+        assert "p2c" in out
+
+    def test_trace_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "serve-trace.json"
+        assert main([
+            "serve", "--grid", "4", "--chunks", "2", "--requests", "50",
+            "--trace", str(path),
+        ]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(e.get("name") == "serve.session" for e in events)
