@@ -54,3 +54,37 @@ def test_serve_deterministic_at_scale(benchmark):
     second = serve_placement(placement, workload, requests)
     assert first.to_json() == second.to_json()
     assert first.completed == requests
+
+
+def test_batched_engine_at_scale(benchmark):
+    """The batched hot path reproduces the per-request report at scale.
+
+    Times the batched engine on a large replay (the number this PR's
+    docs quote), then replays the same stream through the original
+    per-request event loop and asserts the two reports are
+    byte-identical — the determinism contract of docs/SCALING.md.
+    """
+    from repro.core import solve_approximation
+    from repro.serve import (
+        ENGINE_PER_REQUEST,
+        ServeConfig,
+        ZipfWorkload,
+        serve_placement,
+    )
+    from repro.workloads import grid_problem
+
+    requests = 200_000 if full_mode() else 10_000
+    placement = solve_approximation(grid_problem(6))
+    workload = ZipfWorkload(seed=2017)
+
+    batched = benchmark.pedantic(
+        serve_placement, args=(placement, workload, requests),
+        kwargs={"config": ServeConfig(failure_rate=0.2)},
+        rounds=1, iterations=1,
+    )
+    per_request = serve_placement(
+        placement, workload, requests,
+        config=ServeConfig(failure_rate=0.2, engine=ENGINE_PER_REQUEST),
+    )
+    assert batched.to_json() == per_request.to_json()
+    assert batched.completed == requests

@@ -28,8 +28,16 @@ Gate a change against a committed baseline, and export an event trace::
 Serve a request workload against a solved placement (accessing phase)::
 
     repro serve --grid 6 --requests 10000 --workload zipf
-    repro serve --nodes 100 --requests 100000 --workload zipf --seed 2017
+    repro serve --nodes 100 --requests 1000000 --workload zipf --seed 2017
     repro serve --grid 6 --requests 5000 --policy p2c --failure-rate 0.2
+    repro serve --grid 6 --requests 100000 --engine per-request
+
+Fan a workload x policy x topology x seed grid across worker processes
+and write the merged repro-sweep/1 artifact::
+
+    repro sweep --topology grid:6 --workloads zipf,uniform \\
+        --policies cheapest,p2c --seeds 1,2,3 -o SWEEP.json
+    repro sweep --topology grid:4 --topology random:30 --workers 4
 
 Check the architecture/hygiene rules (and optionally types)::
 
@@ -113,8 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scenario", action="append", metavar="NAME",
-        help="run only the named suite scenario (small/medium/large; "
-        "repeatable; default all)",
+        help="run only the named suite scenario (small/medium/large/"
+        "serve-scale; repeatable; default all)",
     )
     bench.add_argument(
         "--nodes", type=int, default=None, metavar="N",
@@ -133,7 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--quick", action="store_true",
-        help="CI smoke mode: only the small scenario, one repeat",
+        help="CI smoke mode: the small and serve-scale scenarios, "
+        "one repeat",
     )
     bench.add_argument(
         "--max-full-rebuilds", type=int, default=None, metavar="N",
@@ -198,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0; the producer never dies)",
     )
     serve.add_argument(
+        "--engine", default="batched", choices=["batched", "per-request"],
+        help="replay engine: 'batched' (default; same report, much "
+        "faster) or the original 'per-request' event loop",
+    )
+    serve.add_argument(
         "--json", action="store_true",
         help="print the ServeReport as JSON instead of a table",
     )
@@ -205,6 +219,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a structured event trace of the solve + replay and "
         "write it as Chrome trace-event JSON",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan a serve grid across worker processes, write "
+        "repro-sweep/1 JSON",
+    )
+    sweep.add_argument(
+        "--topology", action="append", metavar="KIND:N", default=None,
+        help="topology axis entry, e.g. grid:6 or random:30 "
+        "(repeatable; default grid:6)",
+    )
+    sweep.add_argument(
+        "--workloads", default="zipf", metavar="A,B",
+        help="comma-separated workload axis (default zipf)",
+    )
+    sweep.add_argument(
+        "--policies", default="cheapest", metavar="A,B",
+        help="comma-separated selection-policy axis (default cheapest)",
+    )
+    sweep.add_argument(
+        "--seeds", default="2017", metavar="S1,S2",
+        help="comma-separated seed axis (default 2017)",
+    )
+    sweep.add_argument(
+        "--requests", type=int, default=10_000, metavar="N",
+        help="requests per cell (default 10000)",
+    )
+    sweep.add_argument(
+        "--algorithm", default="appx",
+        choices=sorted(_ALGO_ALIASES) + sorted(_ALGO_ALIASES.values()),
+        help="placement algorithm every cell serves from (default appx)",
+    )
+    sweep.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="mean arrivals per simulated second (default: per workload)",
+    )
+    sweep.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="cache-death probability per cell (default 0)",
+    )
+    sweep.add_argument("--chunks", type=int, default=5)
+    sweep.add_argument("--capacity", type=int, default=5)
+    sweep.add_argument(
+        "--engine", default="batched", choices=["batched", "per-request"],
+        help="replay engine for every cell (default batched)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes; 0 = one per CPU, capped at the cell "
+        "count (default 0)",
+    )
+    sweep.add_argument(
+        "--output", "-o", default="SWEEP.json", metavar="PATH",
+        help="where to write the repro-sweep/1 JSON document",
+    )
+    sweep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event trace of the sweep (parent "
+        "process only) and write it as Chrome trace-event JSON",
     )
 
     lint = sub.add_parser(
@@ -317,7 +391,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scenarios = [BenchScenario(f"custom-{args.nodes}", args.nodes,
                                    seed=args.seed)]
     elif args.quick:
-        scenarios = [SUITE_BY_NAME["small"]]
+        # Smoke mode keeps the solver gate (small) and the serving-
+        # throughput gate (serve-scale, 200k batched requests).
+        scenarios = [SUITE_BY_NAME["small"], SUITE_BY_NAME["serve-scale"]]
     elif args.scenario:
         unknown = [name for name in args.scenario if name not in SUITE_BY_NAME]
         if unknown:
@@ -413,7 +489,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workload = workload_cls(seed=args.seed, rate=args.rate)
     else:
         workload = workload_cls(seed=args.seed)
-    config = ServeConfig(failure_rate=args.failure_rate, seed=args.seed)
+    config = ServeConfig(
+        failure_rate=args.failure_rate, seed=args.seed, engine=args.engine
+    )
     name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
     with _maybe_trace(args.trace) as tracer:
         placement = run_algorithms(problem, [name])[name]
@@ -429,6 +507,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"workload {report.workload!r}, policy {report.policy!r}")
         print()
         print(report.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Imported lazily: sweep pulls in serve plus the solver layers.
+    from repro.errors import ProblemError
+    from repro.sweep import (
+        SweepGrid,
+        render_sweep,
+        resolve_workers,
+        run_sweep,
+        write_sweep,
+    )
+
+    def _split(text: str) -> tuple:
+        return tuple(part.strip() for part in text.split(",") if part.strip())
+
+    try:
+        seeds = tuple(int(s) for s in _split(args.seeds))
+    except ValueError:
+        print(f"--seeds must be comma-separated integers, got "
+              f"{args.seeds!r}", file=sys.stderr)
+        return 2
+    algorithm = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
+    try:
+        grid = SweepGrid(
+            topologies=tuple(args.topology or ("grid:6",)),
+            workloads=_split(args.workloads),
+            policies=_split(args.policies),
+            seeds=seeds,
+            algorithm=algorithm,
+            requests=args.requests,
+            rate=args.rate,
+            failure_rate=args.failure_rate,
+            chunks=args.chunks,
+            capacity=args.capacity,
+            engine=args.engine,
+        )
+        workers = resolve_workers(args.workers, len(grid.cells()))
+    except ProblemError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    with _maybe_trace(args.trace) as tracer:
+        document = run_sweep(grid, workers=workers)
+    _write_trace(tracer, args.trace)
+    write_sweep(document, args.output)
+    print(render_sweep(document))
+    print(f"\nwrote {args.output} ({workers} worker"
+          f"{'s' if workers != 1 else ''})")
     return 0
 
 
@@ -499,6 +626,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list":

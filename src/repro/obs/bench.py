@@ -58,13 +58,21 @@ SERVE_REQUESTS_PER_NODE = 100
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One benchmark workload: a seeded connected random geometric network."""
+    """One benchmark workload: a seeded connected random geometric network.
+
+    ``serve_requests`` overrides the default per-node request budget for
+    the serve section; ``serve_only`` skips the solver benchmarks
+    entirely (the scenario exists to gate the serving engine at scale,
+    and re-timing the solvers on it would only add noise).
+    """
 
     name: str
     num_nodes: int
     seed: int = 2017
     num_chunks: int = 5
     capacity: int = 5
+    serve_requests: Optional[int] = None
+    serve_only: bool = False
 
     def build(self):
         problem, _ = random_problem(
@@ -92,6 +100,12 @@ DEFAULT_SUITE = (
     BenchScenario("small", 30),
     BenchScenario("medium", 60),
     BenchScenario("large", 100),
+    # Large-scale serving gate: 200k requests through the batched engine
+    # on the small network.  serve_only — the solvers are already timed
+    # above; this scenario exists to catch serving-throughput
+    # regressions that the per-node budgets are too small to see.
+    BenchScenario("serve-scale", 30, serve_requests=200_000,
+                  serve_only=True),
 )
 
 SUITE_BY_NAME = {scenario.name: scenario for scenario in DEFAULT_SUITE}
@@ -152,7 +166,11 @@ def bench_serve(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
         raise ValueError("repeats must be >= 1")
     placement = SOLVERS["Appx"](problem)
     workload = ZipfWorkload(seed=scenario.seed)
-    num_requests = SERVE_REQUESTS_PER_NODE * scenario.num_nodes
+    num_requests = (
+        scenario.serve_requests
+        if scenario.serve_requests is not None
+        else SERVE_REQUESTS_PER_NODE * scenario.num_nodes
+    )
     best_wall: Optional[float] = None
     best_recorder: Optional[Recorder] = None
     best_report = None
@@ -193,10 +211,14 @@ def run_bench(
             {
                 "name": scenario.name,
                 "network": scenario.network_info(),
-                "algorithms": {
-                    name: bench_algorithm(problem, name, repeats=repeats)
-                    for name in algorithms
-                },
+                "algorithms": (
+                    {}
+                    if scenario.serve_only
+                    else {
+                        name: bench_algorithm(problem, name, repeats=repeats)
+                        for name in algorithms
+                    }
+                ),
                 "serve": bench_serve(problem, scenario, repeats=repeats),
             }
         )
@@ -265,25 +287,32 @@ def render_bench(result: dict) -> str:
                     counters.get("dist.messages.total", "-"),
                 ]
             )
-        parts.append(
-            render_table(
-                ["algorithm", "wall s", "total cost", "gini",
-                 "bid rounds", "messages"],
-                rows,
-                title=(
-                    f"{scenario['name']}: {network['nodes']}-node "
-                    f"{network['kind']} (seed {network['seed']}, "
-                    f"{network['chunks']} chunks)"
-                ),
-            )
+        title = (
+            f"{scenario['name']}: {network['nodes']}-node "
+            f"{network['kind']} (seed {network['seed']}, "
+            f"{network['chunks']} chunks)"
         )
+        if rows:
+            parts.append(
+                render_table(
+                    ["algorithm", "wall s", "total cost", "gini",
+                     "bid rounds", "messages"],
+                    rows,
+                    title=title,
+                )
+            )
+        else:
+            # serve_only scenario — no solver table, just the header.
+            parts.append(f"{title}\n{'=' * len(title)}")
         serve = scenario.get("serve")
         if serve:
             report = serve["report"]
+            wall = serve["wall_seconds"]
+            rate = serve["requests"] / wall if wall > 0 else 0.0
             parts.append(
                 f"serve ({serve['workload']}/{serve['policy']}): "
                 f"{serve['requests']} requests in "
-                f"{serve['wall_seconds']:.3f} s wall; "
+                f"{wall:.3f} s wall ({rate:,.0f} req/s); "
                 f"p99 latency {report['latency_p99']:.2f} sim s, "
                 f"served gini {report['served_gini']:.4f}"
             )

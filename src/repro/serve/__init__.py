@@ -21,6 +21,9 @@ Quickstart::
 
 from repro.serve.engine import (
     DEFAULT_ENGINE_SEED,
+    ENGINE_BATCHED,
+    ENGINE_PER_REQUEST,
+    ENGINES,
     ServeConfig,
     ServeEngine,
     serve_placement,
@@ -36,21 +39,27 @@ from repro.serve.selection import (
 )
 from repro.serve.stats import SERVE_SCHEMA, ServeReport, build_report
 from repro.serve.workloads import (
+    DEFAULT_BATCH_SIZE,
     DEFAULT_RATE,
     DEFAULT_SEED,
     WORKLOADS,
     FlashCrowdWorkload,
     HotspotWorkload,
     Request,
+    RequestBatch,
     UniformWorkload,
     Workload,
     ZipfWorkload,
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "DEFAULT_ENGINE_SEED",
     "DEFAULT_RATE",
     "DEFAULT_SEED",
+    "ENGINE_BATCHED",
+    "ENGINE_PER_REQUEST",
+    "ENGINES",
     "SELECTION_POLICIES",
     "SERVE_SCHEMA",
     "WORKLOADS",
@@ -61,6 +70,7 @@ __all__ = [
     "PowerOfTwoChoices",
     "ReplicaSelector",
     "Request",
+    "RequestBatch",
     "ServeConfig",
     "ServeEngine",
     "ServeReport",

@@ -2,9 +2,8 @@
 
 This is the accessing phase of the paper (Sec. III, Eq. 2) promoted from
 a static cost summation to a served system.  A
-:class:`~repro.serve.workloads.Workload` stream is replayed on the
-deterministic discrete-event :class:`~repro.distributed.simulator.Simulator`
-against the *final* storage state of any
+:class:`~repro.serve.workloads.Workload` stream is replayed against the
+*final* storage state of any
 :class:`~repro.core.placement.CachePlacement`:
 
 * **Per-cache FIFO service queues.**  Each serving node transmits one
@@ -26,20 +25,41 @@ against the *final* storage state of any
   total latency exceeded ``timeout`` are all accounted in the
   :class:`~repro.serve.stats.ServeReport`.
 
+Two replay paths produce byte-identical reports (the equivalence tests
+assert it per workload × policy):
+
+* ``engine="per-request"`` — the reference path: one
+  :class:`~repro.distributed.simulator.Simulator` event per arrival and
+  per completion, one Python callback each.  Transparent, traceable,
+  and ~10x too slow past a few hundred thousand requests.
+* ``engine="batched"`` (the default) — the hot path: requests are
+  generated in struct-of-arrays batches
+  (:meth:`~repro.serve.workloads.Workload.stream_batches`), each
+  ``(client, chunk)`` pair is resolved to its server once per replay
+  when the policy is load-independent, and per-cache FIFO queues
+  collapse to a dict of queue-free times drained through a single heap
+  of completion times.  One process sustains well over a million
+  requests; ``docs/SCALING.md`` documents the design and the measured
+  throughput.
+
 Determinism: the workload stream, the failure coin, and any randomized
-policy all draw from seeded RNGs, and the simulator breaks timestamp
-ties by sequence number — two replays of one configuration produce
-byte-identical report JSON.
+policy all draw from seeded RNGs, and completions are processed in
+simulated-time order on both paths — two replays of one configuration
+produce byte-identical report JSON, whichever path ran.
 
 Observability: counters ``serve.requests`` / ``serve.failovers`` /
-``serve.timeouts``, gauge ``serve.queue_depth``, and trace events
-``serve.session`` (span) / ``serve.request`` (one instant per completed
-request) on the ``serve`` track — all zero-cost when no recorder or
-tracer is installed.
+``serve.timeouts`` (bulk-incremented on the batched path, identical
+totals), batched-path counters ``serve.batch.batches`` /
+``serve.batch.requests`` / ``serve.batch.table_entries`` and gauge
+``serve.batch.heap_peak``, gauge ``serve.queue_depth`` (per-request path
+only), and trace events ``serve.session`` (span) / ``serve.request``
+(one instant per completed request, both paths) on the ``serve`` track —
+all zero-cost when no recorder or tracer is installed.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -53,11 +73,18 @@ from repro.errors import ProblemError
 from repro.obs import get_recorder, get_tracer
 from repro.serve.selection import ReplicaSelector, ServeView, make_selector
 from repro.serve.stats import ServeReport, build_report
-from repro.serve.workloads import Request, Workload
+from repro.serve.workloads import DEFAULT_BATCH_SIZE, Request, Workload
 
 Node = Hashable
 
 DEFAULT_ENGINE_SEED = 2017
+
+#: The batched struct-of-arrays hot path (the default).
+ENGINE_BATCHED = "batched"
+#: The reference discrete-event path (one simulator event per arrival).
+ENGINE_PER_REQUEST = "per-request"
+
+ENGINES = (ENGINE_BATCHED, ENGINE_PER_REQUEST)
 
 
 @dataclass(frozen=True)
@@ -80,6 +107,13 @@ class ServeConfig:
         Timing constants for the DCF service-time model.
     seed:
         Seed for the engine RNG (failure coin, randomized policies).
+    engine:
+        Which replay path runs: ``"batched"`` (default hot path) or
+        ``"per-request"`` (the reference event loop).  Both produce
+        byte-identical reports; the flag exists for the equivalence
+        tests and for tracing individual simulator events.
+    batch_size:
+        Requests per struct-of-arrays batch on the batched path.
     """
 
     failure_rate: float = 0.0
@@ -87,6 +121,8 @@ class ServeConfig:
     retry_penalty: float = 0.05
     dcf: DcfParameters = DcfParameters()
     seed: int = DEFAULT_ENGINE_SEED
+    engine: str = ENGINE_BATCHED
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_rate <= 1.0:
@@ -98,6 +134,14 @@ class ServeConfig:
         if self.retry_penalty < 0:
             raise ProblemError(
                 f"retry_penalty must be >= 0, got {self.retry_penalty}"
+            )
+        if self.engine not in ENGINES:
+            raise ProblemError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.batch_size < 1:
+            raise ProblemError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )
 
 
@@ -153,9 +197,11 @@ class ServeEngine(ServeView):
             if self.rng.random() < config.failure_rate
         )
         # Per-server FIFO: queued (request, penalty, attempts) triples +
-        # a busy flag; queue_depth = waiting + in-service.
+        # a busy flag; queue_depth = waiting + in-service.  (Per-request
+        # path only — the batched path tracks depths in _live_depth.)
         self._queues: Dict[Node, Deque[Tuple[Request, float, int]]] = {}
         self._busy: Dict[Node, bool] = {}
+        self._live_depth: Optional[Dict[Node, int]] = None
         # (server, client) → DCF service seconds; the storage state is
         # frozen during a replay, so this cache is exact.
         self._service_cache: Dict[Tuple[Node, Node], float] = {}
@@ -182,6 +228,8 @@ class ServeEngine(ServeView):
         return row[client]
 
     def queue_depth(self, server: Node) -> int:
+        if self._live_depth is not None:
+            return self._live_depth.get(server, 0)
         queue = self._queues.get(server)
         depth = len(queue) if queue else 0
         if self._busy.get(server):
@@ -193,6 +241,49 @@ class ServeEngine(ServeView):
         """Replay the stream; returns the summary report."""
         obs = get_recorder()
         trace = get_tracer()
+        with trace.span(
+            "serve.session",
+            track="serve",
+            args=(
+                {
+                    "workload": self.workload.name,
+                    "policy": self.selector.name,
+                    "algorithm": self.placement.algorithm,
+                    "engine": self.config.engine,
+                    "requests": self.num_requests,
+                    "dead_caches": len(self._dead),
+                }
+                if trace.enabled
+                else None
+            ),
+        ), obs.timer("serve.replay"):
+            # Explicit zero-work guard: no requests, or no clients to
+            # issue them (single-node topologies, where the producer is
+            # the whole network).  The report is the canonical
+            # zero-request document either way.
+            if self.num_requests > 0 and self.problem.clients:
+                if self.config.engine == ENGINE_PER_REQUEST:
+                    self._replay_per_request(obs, trace)
+                else:
+                    self._replay_batched(obs, trace)
+        return build_report(
+            workload=self.workload.name,
+            policy=self.selector.name,
+            algorithm=self.placement.algorithm,
+            requests=self.num_requests,
+            latencies=self._latencies,
+            queue_delays=self._queue_delays,
+            served_loads=self._served,
+            producer=self.problem.producer,
+            timeouts=self._timeouts,
+            failovers=self._failovers,
+            retried_requests=self._retried_requests,
+            self_served=self._self_served,
+            makespan=self._makespan,
+        )
+
+    # -- reference path: one simulator event per arrival/completion ----
+    def _replay_per_request(self, obs, trace) -> None:
         sim = Simulator()
         stream = self.workload.stream(
             self.problem.clients, self.problem.num_chunks
@@ -203,8 +294,11 @@ class ServeEngine(ServeView):
             nonlocal remaining
             if remaining <= 0:
                 return
+            # A finite stream (zero-rate workload) just stops scheduling.
+            request = next(stream, None)
+            if request is None:
+                return
             remaining -= 1
-            request = next(stream)
             sim.schedule_at(request.time, lambda: arrive(request))
 
         def arrive(request: Request) -> None:
@@ -288,37 +382,245 @@ class ServeEngine(ServeView):
             else:
                 self._busy[server] = False
 
-        with trace.span(
-            "serve.session",
-            track="serve",
-            args=(
-                {
-                    "workload": self.workload.name,
-                    "policy": self.selector.name,
-                    "algorithm": self.placement.algorithm,
-                    "requests": self.num_requests,
-                    "dead_caches": len(self._dead),
-                }
-                if trace.enabled
-                else None
-            ),
-        ), obs.timer("serve.replay"):
-            schedule_next()
-            sim.run(max_events=max(10_000_000, 4 * self.num_requests))
-        return build_report(
-            workload=self.workload.name,
-            policy=self.selector.name,
-            algorithm=self.placement.algorithm,
-            requests=self.num_requests,
-            latencies=self._latencies,
-            queue_delays=self._queue_delays,
-            served_loads=self._served,
-            producer=self.problem.producer,
-            timeouts=self._timeouts,
-            failovers=self._failovers,
-            retried_requests=self._retried_requests,
-            self_served=self._self_served,
-            makespan=self._makespan,
+        schedule_next()
+        sim.run(max_events=max(10_000_000, 4 * self.num_requests))
+
+    # -- hot path: struct-of-arrays batches + a heap of completions ----
+    def _replay_batched(self, obs, trace) -> None:
+        """Array-form replay; byte-identical tallies to the event loop.
+
+        Three structural changes buy the throughput (details and
+        measurements in ``docs/SCALING.md``):
+
+        1. *SoA event batches* — requests arrive as parallel
+           time/client/chunk list columns, never as ``Request`` objects.
+        2. *Resolved candidate tables* — for a load-independent policy
+           (``cheapest``), the ``(server, failovers, penalty)`` outcome
+           of the failover loop is a pure function of ``(chunk,
+           client)`` and is computed once per pair, not once per
+           request.
+        3. *Heap drain* — per-server FIFO queues reduce to one
+           queue-free time per server; completions sit in a single heap
+           and are popped in simulated-time order, exactly the order the
+           reference path's simulator fires them in.
+
+        Float parity notes: the reference path schedules arrivals with
+        ``Simulator.schedule_at``, whose event time is
+        ``now + (t - now)`` — a rounding chain over the previous
+        arrival's event time, not the raw stream time.  This path
+        reproduces that chain (``effective``), and reuses the reference
+        path's exact latency/queue-delay expressions, so every float in
+        the report is bit-identical.
+        """
+        config = self.config
+        selector = self.selector
+        choose = selector.choose
+        load_independent = selector.load_independent
+        dead = self._dead
+        candidates_by_chunk = self._candidates
+        retry_penalty = config.retry_penalty
+        timeout = config.timeout
+        latencies = self._latencies
+        queue_delays = self._queue_delays
+        served = self._served
+        service_time = self._service_time
+        traced = trace.enabled
+
+        # (chunk, client) → (server, attempts, penalty, service) for
+        # load-independent policies; filled lazily so only pairs that
+        # actually occur pay the resolution cost.
+        resolved: Dict[Tuple[int, Node], Tuple[Node, int, float, float]] = {}
+        free: Dict[Node, float] = {}  # server → queue-free sim time
+        depth: Dict[Node, int] = {}  # server → queued + in service
+        if not load_independent:
+            self._live_depth = depth
+        # Completion heap entries:
+        # (done, seq, server, raw_arrival, service, penalty, attempts,
+        #  client, chunk) — seq breaks exact-time ties deterministically.
+        heap: List[Tuple] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        seq = 0
+        heap_peak = 0
+        batches = 0
+        generated = 0
+        timeouts = 0
+        failovers = 0
+        retried = 0
+        self_served = 0
+        track_depth = not load_independent
+
+        def drain(limit: Optional[float]) -> None:
+            """Account completions before ``limit`` (all when None).
+
+            Pops run in (time, seq) order and the limit only ever
+            grows, so the accounting sequence — and with it every
+            order-sensitive float sum in the report — matches the
+            reference path's completion-event order exactly.
+            """
+            nonlocal timeouts, self_served
+            while heap and (limit is None or heap[0][0] < limit):
+                (done, _, server, raw, service, penalty, attempts,
+                 client, chunk) = pop(heap)
+                if track_depth:
+                    depth[server] -= 1
+                latency = (done - raw) + penalty
+                queue_delay = latency - service - penalty
+                latencies.append(latency)
+                queue_delays.append(queue_delay)
+                served[server] += 1
+                if server == client:
+                    self_served += 1
+                if latency > timeout:
+                    timeouts += 1
+                self._makespan = done
+                if traced:
+                    trace.instant(
+                        "serve.request",
+                        track="serve",
+                        args={
+                            "client": str(client),
+                            "chunk": chunk,
+                            "server": str(server),
+                            "latency_s": latency,
+                            "queue_delay_s": queue_delay,
+                            "attempts": attempts + 1,
+                            "sim_time": done,
+                        },
+                    )
+
+        stream = self.workload.stream_batches(
+            self.problem.clients, self.problem.num_chunks,
+            config.batch_size,
+        )
+        remaining = self.num_requests
+        # The reference path's arrival-event times round through
+        # schedule_at (now + (t - now)); mirror the chain exactly.
+        effective = 0.0
+        while remaining > 0:
+            batch = next(stream, None)
+            if batch is None:
+                break
+            times, clients, chunks = batch
+            if len(times) > remaining:
+                times = times[:remaining]
+            remaining -= len(times)
+            batches += 1
+            generated += len(times)
+            if traced:
+                trace.instant(
+                    "serve.batch",
+                    track="serve",
+                    args={"index": batches - 1, "requests": len(times)},
+                )
+            if load_independent:
+                # Selection reads no queue state, so completions only
+                # need draining once per batch: every completion due
+                # before this batch's first arrival is already in the
+                # heap (a completion's arrival precedes it).  Within
+                # the batch, pops still happen in global time order at
+                # the next drain, so accounting order is unchanged.
+                drain(times[0])
+                for i in range(len(times)):
+                    raw = times[i]
+                    effective = effective + (raw - effective)
+                    key = (chunks[i], clients[i])
+                    hit = resolved.get(key)
+                    if hit is None:
+                        hit = resolved[key] = self._resolve_static(
+                            clients[i], chunks[i]
+                        )
+                    server, attempts, penalty, service = hit
+                    if attempts:
+                        failovers += attempts
+                        retried += 1
+                    start = free.get(server, 0.0)
+                    if start < effective:
+                        start = effective
+                    done = start + service
+                    free[server] = done
+                    push(heap, (done, seq, server, raw, service, penalty,
+                                attempts, clients[i], chunks[i]))
+                    seq += 1
+                if len(heap) > heap_peak:
+                    heap_peak = len(heap)
+                continue
+            for i in range(len(times)):
+                raw = times[i]
+                effective = effective + (raw - effective)
+                # Load-dependent policies read live queue depths, so
+                # completions drain before every single arrival.
+                drain(effective)
+                client = clients[i]
+                chunk = chunks[i]
+                candidates = list(candidates_by_chunk[chunk])
+                attempts = 0
+                while True:
+                    server = choose(client, chunk, candidates)
+                    if server not in dead:
+                        break
+                    attempts += 1
+                    candidates.remove(server)
+                penalty = attempts * retry_penalty
+                if attempts:
+                    failovers += attempts
+                    retried += 1
+                service = service_time(server, client)
+                start = free.get(server, 0.0)
+                if start < effective:
+                    start = effective
+                done = start + service
+                free[server] = done
+                depth[server] = depth.get(server, 0) + 1
+                push(heap, (done, seq, server, raw, service, penalty,
+                            attempts, client, chunk))
+                seq += 1
+                if len(heap) > heap_peak:
+                    heap_peak = len(heap)
+        drain(None)
+        self._live_depth = None
+
+        self._timeouts += timeouts
+        self._failovers += failovers
+        self._retried_requests += retried
+        self._self_served += self_served
+        # Bulk counter increments: identical totals to the per-request
+        # path's per-event counts.
+        if generated:
+            obs.count("serve.requests", generated)
+        if failovers:
+            obs.count("serve.failovers", failovers)
+        if timeouts:
+            obs.count("serve.timeouts", timeouts)
+        obs.count("serve.batch.batches", batches)
+        obs.count("serve.batch.requests", generated)
+        if load_independent:
+            obs.count("serve.batch.table_entries", len(resolved))
+        obs.gauge("serve.batch.heap_peak", heap_peak)
+
+    def _resolve_static(
+        self, client: Node, chunk: int
+    ) -> Tuple[Node, int, float, float]:
+        """Run the failover loop once for a load-independent policy.
+
+        Returns ``(server, attempts, penalty, service)`` — the same
+        outcome every request for this ``(chunk, client)`` pair would
+        compute, since costs, service times, and the dead set are all
+        frozen for the whole replay.
+        """
+        candidates = list(self._candidates[chunk])
+        attempts = 0
+        while True:
+            server = self.selector.choose(client, chunk, candidates)
+            if server not in self._dead:
+                break
+            attempts += 1
+            candidates.remove(server)
+        return (
+            server,
+            attempts,
+            attempts * self.config.retry_penalty,
+            self._service_time(server, client),
         )
 
     def _service_time(self, server: Node, client: Node) -> float:

@@ -59,9 +59,19 @@ class ReplicaSelector:
     :meth:`bind` is called once per replay with the engine's view;
     :meth:`choose` once per request attempt with the still-alive
     candidates (never empty — the producer is always last).
+
+    ``load_independent`` declares that :meth:`choose` is a pure function
+    of ``(client, chunk, candidates)`` — it reads neither queue depths
+    nor the RNG.  The batched engine exploits this to resolve each
+    ``(client, chunk)`` pair to its ``(server, failover count)`` exactly
+    once per replay instead of once per request; load-dependent policies
+    keep the per-request call (see ``docs/SCALING.md``).
     """
 
     name = "base"
+
+    #: True only when choose() ignores queue depths and the RNG.
+    load_independent = False
 
     def bind(self, view: ServeView) -> None:
         self._view = view
@@ -79,6 +89,10 @@ class CheapestCost(ReplicaSelector):
     """
 
     name = "cheapest"
+
+    # Costs are frozen for a whole replay (final storage state), so the
+    # choice per (client, chunk) never changes.
+    load_independent = True
 
     def choose(self, client: Node, chunk: int, candidates: Sequence[Node]) -> Node:
         view = self._view

@@ -20,6 +20,19 @@ Every generator is
   per simulated second across the whole network (flash crowds add a
   burst window on top).
 
+Two stream shapes share one RNG schedule.  :meth:`Workload.stream`
+yields :class:`Request` objects (the per-request engine path);
+:meth:`Workload.stream_batches` yields struct-of-arrays batches —
+parallel ``times`` / ``clients`` / ``chunks`` list columns — for the
+batched engine hot path (see ``docs/SCALING.md``).  Both draw
+interarrival, client, chunk per request in that exact order from the
+same seeded RNG, so the value sequences are identical; the equivalence
+tests assert it for every generator.
+
+A ``rate`` of exactly 0 is a valid degenerate workload: the stream is
+empty (no request ever arrives) and the engine returns a zero-request
+report instead of tripping over ``expovariate(0)``.
+
 The :data:`WORKLOADS` registry maps CLI names to generator classes;
 ``repro list`` enumerates it.
 """
@@ -29,13 +42,22 @@ from __future__ import annotations
 import random
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterator, List, Sequence, Type
+from typing import Any, Dict, Hashable, Iterator, List, Sequence, Tuple, Type
 
 from repro.errors import ProblemError
 
 Node = Hashable
 
 DEFAULT_SEED = 2017
+
+#: Requests per struct-of-arrays batch from :meth:`Workload.stream_batches`.
+#: Large enough to amortize the per-batch Python overhead, small enough
+#: that a partially-consumed final batch wastes little generation work.
+DEFAULT_BATCH_SIZE = 8192
+
+#: One struct-of-arrays event batch: parallel ``(times, clients, chunks)``
+#: columns, one entry per request.
+RequestBatch = Tuple[List[float], List[Node], List[int]]
 
 #: Mean request arrivals per simulated second, network-wide.  DCF chunk
 #: transfers take ~10 s across a grid (0.73 s transmission per hop times
@@ -74,21 +96,75 @@ class Workload:
     rate: float = DEFAULT_RATE
 
     def __post_init__(self) -> None:
-        if self.rate <= 0:
-            raise ProblemError(f"request rate must be > 0, got {self.rate}")
+        if self.rate < 0:
+            raise ProblemError(f"request rate must be >= 0, got {self.rate}")
 
     def stream(
         self, clients: Sequence[Node], num_chunks: int
     ) -> Iterator[Request]:
-        """An endless deterministic request stream (seeded per call)."""
+        """An endless deterministic request stream (seeded per call).
+
+        A zero-rate workload yields an empty stream (no arrivals, ever).
+        """
+        clients = self._check_stream_args(clients, num_chunks)
+        if self.rate == 0:
+            return iter(())
+        rng = random.Random(self.seed)
+        state = self._prepare(rng, clients, num_chunks)
+        return self._generate(rng, state, clients, num_chunks)
+
+    def stream_batches(
+        self,
+        clients: Sequence[Node],
+        num_chunks: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[RequestBatch]:
+        """The same stream as :meth:`stream`, in struct-of-arrays batches.
+
+        Yields ``(times, clients, chunks)`` parallel list columns of
+        ``batch_size`` requests each, endlessly.  The RNG is consumed in
+        exactly the per-request order (interarrival, client, chunk), so
+        column ``i`` of batch ``b`` equals request ``b * batch_size + i``
+        of :meth:`stream` — the batched engine's equivalence guarantee
+        starts here.  A zero-rate workload yields no batches.
+        """
+        if batch_size < 1:
+            raise ProblemError(f"batch_size must be >= 1, got {batch_size}")
+        clients = self._check_stream_args(clients, num_chunks)
+        if self.rate == 0:
+            return iter(())
+        return self._generate_batches(clients, num_chunks, batch_size)
+
+    def _generate_batches(
+        self, clients: List[Node], num_chunks: int, batch_size: int
+    ) -> Iterator[RequestBatch]:
+        rng = random.Random(self.seed)
+        state = self._prepare(rng, clients, num_chunks)
+        interarrival = self._interarrival
+        pick_client = self._pick_client
+        pick_chunk = self._pick_chunk
+        now = 0.0
+        while True:
+            times: List[float] = []
+            batch_clients: List[Node] = []
+            batch_chunks: List[int] = []
+            for _ in range(batch_size):
+                now += interarrival(rng, now)
+                times.append(now)
+                # Client before chunk: Request(...) evaluates its keyword
+                # arguments in that order, and RNG order is the contract.
+                batch_clients.append(pick_client(rng, clients, state))
+                batch_chunks.append(pick_chunk(rng, num_chunks, now, state))
+            yield times, batch_clients, batch_chunks
+
+    def _check_stream_args(
+        self, clients: Sequence[Node], num_chunks: int
+    ) -> List[Node]:
         if not clients:
             raise ProblemError("workload needs at least one client")
         if num_chunks < 1:
             raise ProblemError("workload needs at least one chunk")
-        clients = list(clients)
-        rng = random.Random(self.seed)
-        state = self._prepare(rng, clients, num_chunks)
-        return self._generate(rng, state, clients, num_chunks)
+        return list(clients)
 
     def _generate(
         self,

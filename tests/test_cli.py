@@ -181,10 +181,18 @@ class TestBench:
                      "--max-full-rebuilds", "0", "-o", str(out)]) == 0
         data = json.loads(out.read_text())
         assert data["repeats"] == 1
-        assert [s["name"] for s in data["scenarios"]] == ["small"]
+        assert [s["name"] for s in data["scenarios"]] == [
+            "small", "serve-scale",
+        ]
         counters = data["scenarios"][0]["algorithms"]["Appx"]["counters"]
         assert counters.get("costs.full_rebuilds", 0) == 0
         assert counters["costs.incremental_patches"] > 0
+        # serve-scale gates the serving engine only: no solver entries,
+        # and the batched path's counters are in the serve section.
+        scale = data["scenarios"][1]
+        assert scale["algorithms"] == {}
+        assert scale["serve"]["requests"] == 200_000
+        assert scale["serve"]["counters"]["serve.batch.requests"] == 200_000
         assert "full-rebuild budget OK" in capsys.readouterr().out
 
     def test_full_rebuild_budget_overrun_fails(self, tmp_path, capsys,

@@ -16,6 +16,7 @@ from repro.obs.bench import (
     BENCH_SCHEMA,
     BenchScenario,
     DEFAULT_SUITE,
+    SUITE_BY_NAME,
     bench_algorithm,
     render_bench,
     run_bench,
@@ -313,8 +314,13 @@ class TestBench:
     TINY = BenchScenario("tiny", 12, seed=3, num_chunks=2)
 
     def test_default_suite_has_the_acceptance_scenarios(self):
-        assert [s.name for s in DEFAULT_SUITE] == ["small", "medium", "large"]
-        assert DEFAULT_SUITE[-1].num_nodes == 100
+        assert [s.name for s in DEFAULT_SUITE] == [
+            "small", "medium", "large", "serve-scale",
+        ]
+        assert SUITE_BY_NAME["large"].num_nodes == 100
+        scale = SUITE_BY_NAME["serve-scale"]
+        assert scale.serve_only
+        assert scale.serve_requests == 200_000
 
     def test_bench_algorithm_reports_wall_and_recorder(self):
         outcome = bench_algorithm(self.TINY.build(), "Appx", repeats=2)

@@ -126,7 +126,7 @@ class TestWorkloadStreams:
 
     def test_validation(self):
         with pytest.raises(ProblemError):
-            UniformWorkload(rate=0.0)
+            UniformWorkload(rate=-1.0)
         with pytest.raises(ProblemError):
             ZipfWorkload(exponent=-1.0)
         with pytest.raises(ProblemError):
@@ -137,6 +137,32 @@ class TestWorkloadStreams:
             UniformWorkload().stream([], 3)
         with pytest.raises(ProblemError):
             UniformWorkload().stream(CLIENTS, 0)
+        with pytest.raises(ProblemError):
+            UniformWorkload().stream_batches([], 3)
+        with pytest.raises(ProblemError):
+            UniformWorkload().stream_batches(CLIENTS, 0)
+        with pytest.raises(ProblemError):
+            UniformWorkload().stream_batches(CLIENTS, 3, batch_size=0)
+
+    def test_zero_rate_streams_are_empty(self):
+        workload = UniformWorkload(seed=3, rate=0.0)
+        assert list(workload.stream(CLIENTS, 4)) == []
+        assert list(workload.stream_batches(CLIENTS, 4)) == []
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_batches_match_per_request_stream(self, name, batch_size):
+        # The batched engine's equivalence guarantee starts here: the
+        # SoA columns must carry exactly the per-request stream values.
+        workload = WORKLOADS[name](seed=17)
+        requests = take(workload, CLIENTS, 4, 200)
+        batches = workload.stream_batches(CLIENTS, 4, batch_size=batch_size)
+        flat = []
+        while len(flat) < 200:
+            times, clients, chunks = next(batches)
+            flat.extend(zip(times, clients, chunks))
+        flat = flat[:200]
+        assert flat == [(r.time, r.client, r.chunk) for r in requests]
 
 
 class _StaticView:
@@ -236,6 +262,131 @@ class TestEngineDeterminism:
             for seed in (1, 2, 3, 4)
         ]
         assert len({r.failovers for r in reports}) > 1
+
+
+class TestBatchedEquivalence:
+    """The batched hot path is a pure optimisation: byte-identical
+    ServeReport JSON to the per-request reference path, for every
+    workload × policy combination, at two seeds (the ISSUE 6 acceptance
+    harness)."""
+
+    @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("policy", sorted(SELECTION_POLICIES))
+    @pytest.mark.parametrize("seed", [7, 21])
+    def test_batched_matches_per_request(
+        self, placement, workload_name, policy, seed
+    ):
+        workload = WORKLOADS[workload_name](seed=seed)
+        reference = serve_placement(
+            placement, workload, 300, policy=policy,
+            config=ServeConfig(
+                failure_rate=0.3, seed=seed, engine="per-request"
+            ),
+        )
+        batched = serve_placement(
+            placement, workload, 300, policy=policy,
+            config=ServeConfig(
+                failure_rate=0.3, seed=seed, engine="batched", batch_size=64
+            ),
+        )
+        assert batched.to_json() == reference.to_json()
+
+    def test_batch_size_does_not_change_report(self, placement):
+        workload = ZipfWorkload(seed=5)
+        reports = [
+            serve_placement(
+                placement, workload, 300,
+                config=ServeConfig(seed=5, batch_size=size),
+            ).to_json()
+            for size in (1, 3, 100, 8192)
+        ]
+        assert len(set(reports)) == 1
+
+    def test_batched_counters_match_per_request(self, placement):
+        workload = ZipfWorkload(seed=9)
+        dumps = {}
+        for engine in ("per-request", "batched"):
+            recorder = Recorder()
+            with use_recorder(recorder):
+                serve_placement(
+                    placement, workload, 200,
+                    config=ServeConfig(
+                        failure_rate=0.4, timeout=1.0, seed=9, engine=engine
+                    ),
+                )
+            dumps[engine] = recorder.dump()["counters"]
+        for name in ("serve.requests", "serve.failovers", "serve.timeouts"):
+            assert dumps["batched"].get(name, 0) == \
+                dumps["per-request"].get(name, 0)
+        assert dumps["batched"]["serve.batch.requests"] == 200
+        assert dumps["batched"]["serve.batch.batches"] >= 1
+        assert dumps["batched"]["serve.batch.table_entries"] > 0
+        assert "serve.batch.batches" not in dumps["per-request"]
+
+    def test_batched_trace_instants_match(self, placement):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = serve_placement(placement, ZipfWorkload(seed=2), 50)
+        names = [event.name for event in tracer.events]
+        assert names.count("serve.request") == report.completed
+        assert "serve.batch" in names
+
+    def test_engine_flag_validated(self):
+        with pytest.raises(ProblemError):
+            ServeConfig(engine="bogus")
+        with pytest.raises(ProblemError):
+            ServeConfig(batch_size=0)
+
+
+class TestDegenerateReplays:
+    """Zero-rate, zero-request, and single-node replays exit cleanly
+    with the canonical zero-request report on both engine paths."""
+
+    @pytest.mark.parametrize("engine", ["batched", "per-request"])
+    def test_zero_rate_workload(self, placement, engine):
+        report = serve_placement(
+            placement, UniformWorkload(seed=2, rate=0.0), 500,
+            config=ServeConfig(engine=engine),
+        )
+        assert report.requests == 500
+        assert report.completed == 0
+        assert report.makespan == 0.0
+        assert report.throughput == 0.0
+        assert report.latency_p99 == 0.0
+        assert all(v == 0 for v in report.served_loads.values())
+
+    @pytest.mark.parametrize("engine", ["batched", "per-request"])
+    def test_single_node_topology(self, engine):
+        # A 1x1 grid is just the producer: no clients, no requests.
+        problem = grid_problem(1, num_chunks=2)
+        single = solve_approximation(problem)
+        report = serve_placement(
+            single, ZipfWorkload(seed=2), 100,
+            config=ServeConfig(engine=engine),
+        )
+        assert report.completed == 0
+        assert report.served_gini == 0.0
+        assert report.served_jains == 1.0
+
+    def test_zero_rate_reports_identical_across_engines(self, placement):
+        reports = [
+            serve_placement(
+                placement, ZipfWorkload(seed=2, rate=0.0), 100,
+                config=ServeConfig(engine=engine),
+            ).to_json()
+            for engine in ("batched", "per-request")
+        ]
+        assert reports[0] == reports[1]
+
+    def test_zero_duration_burst_behaves_like_zipf(self, placement):
+        crowd = FlashCrowdWorkload(seed=4, burst_duration=0.0)
+        plain = ZipfWorkload(seed=4)
+        a = serve_placement(placement, crowd, 200)
+        b = serve_placement(placement, plain, 200)
+        assert a.completed == b.completed == 200
+        assert a.latency_mean == b.latency_mean
+
+
 
 
 class TestEngineSemantics:
