@@ -1,0 +1,346 @@
+"""Determinism rules: byte-identity hazards caught at lint time.
+
+Applied to every module whose :mod:`docs/determinism.toml` contract is
+``deterministic`` (longest-prefix match; ``exempt`` wins).  Five rules:
+
+``unordered-iteration``
+    A ``set``/``frozenset``-typed expression is iterated by a ``for``
+    statement or comprehension, or passed to an order-sensitive consumer
+    (``list``, ``tuple``, ``enumerate``, ``str.join``), without going
+    through ``sorted()``.  Set iteration order depends on insertion
+    history and ``PYTHONHASHSEED``, so anything ordered built from it is
+    not byte-stable.  ``dict`` views are *not* flagged: Python dicts are
+    insertion-ordered, so their iteration order is deterministic.
+``hash-ordering``
+    A call to ``hash()`` or ``id()``, or ``key=hash`` / ``key=id``
+    passed to a sort.  ``hash()`` of str/bytes varies per process under
+    hash randomization and ``id()`` varies per allocation, so neither
+    may influence result values or ordering.
+``float-accumulation``
+    ``sum()`` / ``math.fsum()`` over a set-typed iterable (directly or
+    via a generator expression).  Float addition is not associative, so
+    an unordered reduction is not byte-stable even when the set's
+    *membership* is.
+``env-branching``
+    ``os.environ`` / ``os.getenv`` read outside the ``[allowlist] env``
+    scope — results must not depend on ambient environment.
+``wallclock-determinism``
+    Monotonic/CPU/wall clock reads (``time.monotonic``,
+    ``time.perf_counter``, ``time.process_time``, their ``_ns``
+    variants, ``time.time_ns``, ``datetime.now`` etc.) outside the
+    ``[allowlist] wallclock`` scope.  ``time.time()`` itself stays with
+    the hygiene ``wallclock`` rule so one read is never double-flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.astutil import (
+    ModuleAliases,
+    build_parent_map,
+    collect_module_aliases,
+    dotted_call_name,
+)
+from repro.analysis.imports import SourceModule
+from repro.analysis.report import Violation
+from repro.analysis.spec import DeterminismSpec
+
+#: Consumers whose output order follows the iterable's order.
+_ORDER_SENSITIVE_CALLS = ("list", "tuple", "enumerate")
+
+#: Consumers whose result does not depend on iteration order; a
+#: comprehension that is the direct argument of one of these may iterate
+#: a set freely.  ``sum`` is here because the float case is owned by the
+#: float-accumulation rule — one site, one rule.
+_ORDER_INSENSITIVE_CONSUMERS = (
+    "sorted",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+    "set",
+    "frozenset",
+    "sum",
+)
+
+#: time-module members that read a clock (time.time is hygiene's).
+_CLOCK_MEMBERS = (
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "time_ns",
+)
+
+#: datetime constructors that read the wall clock.
+_DATETIME_NOW = ("now", "utcnow", "today")
+
+
+def check_determinism(
+    modules: Sequence[SourceModule], det: DeterminismSpec
+) -> List[Violation]:
+    """Run the determinism rules over already-parsed modules."""
+    violations: List[Violation] = []
+    for module in modules:
+        if not det.is_deterministic(module.name):
+            continue
+        aliases = collect_module_aliases(module.tree)
+        checker = _ModuleChecker(module, det, aliases)
+        checker.run()
+        violations.extend(checker.violations)
+    return violations
+
+
+class _ModuleChecker:
+    def __init__(
+        self,
+        module: SourceModule,
+        det: DeterminismSpec,
+        aliases: ModuleAliases,
+    ) -> None:
+        self.module = module
+        self.det = det
+        self.aliases = aliases
+        self.violations: List[Violation] = []
+        #: Names assigned a set-typed value, per enclosing scope node.
+        self._set_names: Set[str] = set()
+        self._parents: Dict[ast.AST, ast.AST] = {}
+
+    def run(self) -> None:
+        self._collect_set_names(self.module.tree)
+        self._parents = build_parent_map(self.module.tree)
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.For):
+                self._check_iteration(node.iter, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if not self._feeds_order_insensitive(node):
+                    for gen in node.generators:
+                        self._check_iteration(gen.iter, gen.iter)
+            elif isinstance(node, ast.DictComp):
+                for gen in node.generators:
+                    self._check_iteration(gen.iter, gen.iter)
+            elif isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                self._check_environ_access(node)
+
+    def _feeds_order_insensitive(self, node: ast.expr) -> bool:
+        """Comprehension passed straight into sorted()/min()/... ?"""
+        parent = self._parents.get(node)
+        if not isinstance(parent, ast.Call) or node not in parent.args:
+            return False
+        name = dotted_call_name(parent.func)
+        if name is None:
+            return False
+        # math.fsum counts too: like sum, its float-over-set case is
+        # owned by the float-accumulation rule.
+        bare = name.rpartition(".")[2]
+        return bare in _ORDER_INSENSITIVE_CONSUMERS or bare == "fsum"
+
+    # -- unordered-iteration ------------------------------------------
+    def _collect_set_names(self, tree: ast.Module) -> None:
+        """Names bound (anywhere) to a syntactically set-typed value.
+
+        Scope-insensitive on purpose: a false merge across functions
+        only matters if the *same name* holds a set in one function and
+        an ordered sequence in another, which is itself confusing enough
+        to rename.
+        """
+        for node in ast.walk(tree):
+            value: Optional[ast.expr] = None
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None or not self._is_set_expr(value, check_names=False):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._set_names.add(target.id)
+
+    def _is_set_expr(self, node: ast.expr, check_names: bool = True) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_call_name(node.func)
+            if name in ("set", "frozenset"):
+                return True
+        if check_names and isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            # ``a | b`` / ``a - b`` over sets; require one proven side.
+            return self._is_set_expr(node.left, check_names) or self._is_set_expr(
+                node.right, check_names
+            )
+        return False
+
+    def _check_iteration(self, iterable: ast.expr, site: ast.expr) -> None:
+        if self._is_set_expr(iterable):
+            self._flag(
+                "unordered-iteration",
+                site,
+                "iterates a set-typed expression; iteration order depends "
+                "on PYTHONHASHSEED/insertion history — wrap in sorted()",
+            )
+
+    def _check_call(self, node: ast.Call) -> None:
+        name = dotted_call_name(node.func)
+        # unordered-iteration: order-sensitive consumers of a set.
+        if name in _ORDER_SENSITIVE_CALLS and node.args:
+            if self._is_set_expr(node.args[0]):
+                self._flag(
+                    "unordered-iteration",
+                    node,
+                    f"{name}() over a set-typed expression captures an "
+                    "unstable order — wrap in sorted()",
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and self._is_set_expr(node.args[0])
+        ):
+            self._flag(
+                "unordered-iteration",
+                node,
+                "str.join() over a set-typed expression captures an "
+                "unstable order — wrap in sorted()",
+            )
+        # hash-ordering: hash()/id() calls and key=hash/id keywords.
+        if name in ("hash", "id"):
+            self._flag(
+                "hash-ordering",
+                node,
+                f"{name}() varies per process/allocation; results and "
+                "orderings must not depend on it",
+            )
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "key"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in ("hash", "id")
+            ):
+                self._flag(
+                    "hash-ordering",
+                    keyword.value,
+                    f"sort key={keyword.value.id} orders by a per-process "
+                    "value",
+                )
+        # float-accumulation: sum()/math.fsum() over set-typed iterables.
+        if name is not None and self._is_accumulator(name) and node.args:
+            arg = node.args[0]
+            if self._is_set_expr(arg) or self._genexp_over_set(arg):
+                self._flag(
+                    "float-accumulation",
+                    node,
+                    f"{name}() over an unordered collection: float "
+                    "addition is order-dependent — sum a sorted sequence",
+                )
+        # env-branching: os.environ/os.getenv outside the allowlist.
+        self._check_env_call(node, name)
+        # wallclock-determinism: monotonic/CPU clock reads.
+        self._check_clock_call(node, name)
+
+    def _is_accumulator(self, name: str) -> bool:
+        if name == "sum":
+            return True
+        head, _, member = name.rpartition(".")
+        if member == "fsum" and head in self.aliases.module_names("math"):
+            return True
+        return self.aliases.member_name("math", name) == "fsum"
+
+    def _genexp_over_set(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.GeneratorExp):
+            return False
+        return any(
+            self._is_set_expr(gen.iter) for gen in node.generators
+        )
+
+    # -- env-branching ------------------------------------------------
+    def _check_env_call(self, node: ast.Call, name: Optional[str]) -> None:
+        if self.det.allows_env(self.module.name):
+            return
+        if name is None:
+            return
+        head, _, member = name.rpartition(".")
+        if member == "getenv" and head in self.aliases.module_names("os"):
+            self._flag_env(node)
+        elif self.aliases.member_name("os", name) == "getenv":
+            self._flag_env(node)
+
+    def _check_environ_access(self, node: ast.AST) -> None:
+        """``os.environ`` (or ``from os import environ``) reads."""
+        if self.det.allows_env(self.module.name):
+            return
+        if isinstance(node, ast.Attribute):
+            if (
+                node.attr == "environ"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in self.aliases.module_names("os")
+            ):
+                self._flag_env(node)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if self.aliases.member_name("os", node.id) == "environ":
+                self._flag_env(node)
+
+    def _flag_env(self, node: ast.AST) -> None:
+        self._flag(
+            "env-branching",
+            node,
+            "environment read in a deterministic module: results must "
+            "not depend on ambient env vars",
+        )
+
+    # -- wallclock-determinism ----------------------------------------
+    def _check_clock_call(self, node: ast.Call, name: Optional[str]) -> None:
+        if self.det.allows_wallclock(self.module.name):
+            return
+        if name is None:
+            return
+        head, _, member = name.rpartition(".")
+        time_names = self.aliases.module_names("time")
+        datetime_names = self.aliases.module_names("datetime")
+        if member in _CLOCK_MEMBERS and head in time_names:
+            self._flag_clock(node, name)
+            return
+        if self.aliases.member_name("time", name) in _CLOCK_MEMBERS:
+            self._flag_clock(node, name)
+            return
+        # datetime.datetime.now() / datetime.date.today() forms, plus
+        # ``from datetime import datetime; datetime.now()``.
+        if member in _DATETIME_NOW:
+            owner, _, cls = head.rpartition(".")
+            if owner in datetime_names and cls in ("datetime", "date"):
+                self._flag_clock(node, name)
+            elif not owner and self.aliases.member_name("datetime", cls) in (
+                "datetime",
+                "date",
+            ):
+                self._flag_clock(node, name)
+
+    def _flag_clock(self, node: ast.AST, name: str) -> None:
+        self._flag(
+            "wallclock-determinism",
+            node,
+            f"{name}() reads a clock in a deterministic module; move the "
+            "timing behind the obs Recorder or allowlist the module in "
+            "determinism.toml",
+        )
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.module.path,
+                line=getattr(node, "lineno", 0),
+                message=f"{self.module.name}: {message}",
+            )
+        )

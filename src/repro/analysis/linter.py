@@ -18,15 +18,35 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.determinism import check_determinism
 from repro.analysis.hygiene import check_hygiene
 from repro.analysis.imports import SourceModule, check_architecture
-from repro.analysis.report import Violation, filter_suppressed, render_report
+from repro.analysis.parallel import check_parallel
+from repro.analysis.report import (
+    Violation,
+    filter_suppressed,
+    render_json,
+    render_report,
+    render_sarif,
+)
+from repro.analysis.rngflow import check_rngflow
 from repro.analysis.spec import (
+    DEFAULT_DETERMINISM_RELPATH,
     DEFAULT_SPEC_RELPATH,
+    DeterminismSpec,
     LayeringSpec,
+    load_determinism_spec,
     load_spec,
 )
 from repro.errors import ProblemError
+
+#: Static rule families, in the order they run.  ``architecture`` and
+#: ``hygiene`` need only the layering spec; the other three also need
+#: the determinism contracts (``docs/determinism.toml``).
+FAMILIES = ("architecture", "hygiene", "determinism", "rngflow", "parallel")
+
+#: Families that require a :class:`DeterminismSpec`.
+DET_FAMILIES = ("determinism", "rngflow", "parallel")
 
 
 @dataclass(frozen=True)
@@ -42,7 +62,25 @@ class LintReport:
     def ok(self) -> bool:
         return not self.violations
 
-    def render(self) -> str:
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return render_json(
+                list(self.violations),
+                self.files_checked,
+                self.suppressed,
+                notes=list(self.notes),
+            )
+        if fmt == "sarif":
+            return render_sarif(
+                list(self.violations),
+                self.files_checked,
+                self.suppressed,
+                notes=list(self.notes),
+            )
+        if fmt != "text":
+            raise ProblemError(
+                f"unknown lint format {fmt!r}; expected text, json, or sarif"
+            )
         body = render_report(
             list(self.violations), self.files_checked, self.suppressed
         )
@@ -92,12 +130,44 @@ def load_modules(
 
 
 def lint_modules(
-    modules: Sequence[SourceModule], spec: LayeringSpec
+    modules: Sequence[SourceModule],
+    spec: LayeringSpec,
+    families: Sequence[str] = FAMILIES,
+    det_spec: Optional[DeterminismSpec] = None,
+    notes: Sequence[str] = (),
 ) -> LintReport:
-    """Run both passes over already-parsed modules."""
+    """Run the selected rule families over already-parsed modules.
+
+    Families needing the determinism contracts are skipped (with a
+    note) when ``det_spec`` is ``None`` — a checkout without
+    ``docs/determinism.toml`` still lints architecture and hygiene.
+    """
+    unknown = [f for f in families if f not in FAMILIES]
+    if unknown:
+        raise ProblemError(
+            f"unknown lint families {unknown!r}; expected a subset of "
+            f"{list(FAMILIES)!r}"
+        )
+    run_notes = list(notes)
     violations: List[Violation] = []
-    violations.extend(check_architecture(list(modules), spec))
-    violations.extend(check_hygiene(list(modules), spec))
+    if "architecture" in families:
+        violations.extend(check_architecture(list(modules), spec))
+    if "hygiene" in families:
+        violations.extend(check_hygiene(list(modules), spec))
+    det_requested = [f for f in families if f in DET_FAMILIES]
+    if det_requested and det_spec is None:
+        run_notes.append(
+            "note: determinism contracts not found "
+            f"({DEFAULT_DETERMINISM_RELPATH}); skipped families: "
+            + ", ".join(det_requested)
+        )
+    elif det_spec is not None:
+        if "determinism" in families:
+            violations.extend(check_determinism(list(modules), det_spec))
+        if "rngflow" in families:
+            violations.extend(check_rngflow(list(modules), det_spec))
+        if "parallel" in families:
+            violations.extend(check_parallel(list(modules), det_spec))
     lines_by_path: Dict[str, Sequence[str]] = {
         module.path: module.lines for module in modules
     }
@@ -107,6 +177,7 @@ def lint_modules(
         violations=tuple(kept),
         files_checked=len(modules),
         suppressed=suppressed,
+        notes=tuple(run_notes),
     )
 
 
@@ -114,9 +185,16 @@ def lint_package(
     package_dir: Union[str, Path],
     spec: LayeringSpec,
     package_name: Optional[str] = None,
+    families: Sequence[str] = FAMILIES,
+    det_spec: Optional[DeterminismSpec] = None,
 ) -> LintReport:
     """Lint one package directory against ``spec``."""
-    return lint_modules(load_modules(package_dir, package_name), spec)
+    return lint_modules(
+        load_modules(package_dir, package_name),
+        spec,
+        families=families,
+        det_spec=det_spec,
+    )
 
 
 def find_spec_path(start: Union[str, Path]) -> Optional[Path]:
@@ -129,9 +207,21 @@ def find_spec_path(start: Union[str, Path]) -> Optional[Path]:
     return None
 
 
+def find_determinism_path(start: Union[str, Path]) -> Optional[Path]:
+    """Walk up from ``start`` looking for ``docs/determinism.toml``."""
+    current = Path(start).resolve()
+    for candidate in [current, *current.parents]:
+        det_path = candidate / DEFAULT_DETERMINISM_RELPATH
+        if det_path.is_file():
+            return det_path
+    return None
+
+
 def run_lint(
     package_dir: Optional[Union[str, Path]] = None,
     spec_path: Optional[Union[str, Path]] = None,
+    families: Sequence[str] = FAMILIES,
+    det_spec_path: Optional[Union[str, Path]] = None,
 ) -> LintReport:
     """Lint with installed-package defaults (what ``repro lint`` runs)."""
     if package_dir is None:
@@ -145,4 +235,13 @@ def run_lint(
                 "pass --spec explicitly"
             )
     spec = load_spec(spec_path)
-    return lint_package(package_dir, spec)
+    if det_spec_path is None:
+        det_spec_path = find_determinism_path(package_dir)
+    det_spec = (
+        load_determinism_spec(det_spec_path)
+        if det_spec_path is not None
+        else None
+    )
+    return lint_package(
+        package_dir, spec, families=families, det_spec=det_spec
+    )

@@ -1,0 +1,388 @@
+"""Parallel-safety rules: what may a ``Pool`` worker touch?
+
+The sweep runner's sharding-invariance promise (docs/SCALING.md) holds
+only if worker functions are pure up to their payload.  This pass finds
+worker dispatch sites (``pool.map``/``imap``/``starmap``/
+``apply_async``, executor ``submit``/``map``, ``Process(target=...)``),
+resolves the worker function, computes same-module call-graph
+reachability from it, and checks everything reachable.  It runs on
+modules that declare the ``fork-safe`` contract in
+``docs/determinism.toml`` *or* that contain a dispatch site themselves.
+
+``parallel-global-write``
+    A function reachable from a worker writes module-level mutable
+    state: subscript/augmented assignment to a module-level name, a
+    mutating method call (``append``/``update``/``add``/...) on one, or
+    a ``global`` rebind.  Under fork each process mutates its own copy,
+    so the parent never sees the write — results then depend on which
+    process ran what.  Deliberate per-process memos need a line-scoped
+    ``# repro: noqa=parallel-global-write`` with a justification.
+``parallel-unsafe-capture``
+    A worker (or reachable callee) reads a module-level name bound to a
+    fork-unsafe value — an open file handle, a live ``Recorder`` /
+    ``Tracer`` — or the dispatched worker is a lambda / nested closure
+    (its captured frame state does not survive pickling/fork cleanly).
+``parallel-unordered-merge``
+    A completion-ordered collection point: ``imap_unordered``,
+    ``as_completed``, or ``apply_async`` whose results are gathered as
+    they finish.  Merges must be keyed by shard index, never by
+    completion order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import (
+    ModuleAliases,
+    collect_module_aliases,
+    dotted_call_name,
+)
+from repro.analysis.imports import SourceModule
+from repro.analysis.report import Violation
+from repro.analysis.spec import DeterminismSpec
+
+#: Dispatch methods whose first positional argument is the worker.
+_MAP_METHODS = (
+    "map",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "map_async",
+    "apply",
+    "apply_async",
+    "submit",
+)
+
+#: Completion-ordered collection points.
+_UNORDERED_METHODS = ("imap_unordered", "as_completed")
+
+#: Constructors producing module-level *mutable* state worth guarding.
+_MUTABLE_CTORS = (
+    "list",
+    "dict",
+    "set",
+    "collections.defaultdict",
+    "defaultdict",
+    "collections.Counter",
+    "Counter",
+    "collections.OrderedDict",
+    "OrderedDict",
+    "collections.deque",
+    "deque",
+)
+
+#: Constructors producing fork-unsafe module-level values.
+_FORK_UNSAFE_CTORS = (
+    "open",
+    "Recorder",
+    "Tracer",
+    "get_recorder",
+    "get_tracer",
+)
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = (
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "appendleft",
+    "extendleft",
+)
+
+
+def check_parallel(
+    modules: Sequence[SourceModule], det: DeterminismSpec
+) -> List[Violation]:
+    """Run the parallel-safety rules over already-parsed modules."""
+    violations: List[Violation] = []
+    for module in modules:
+        if det.is_exempt(module.name):
+            continue
+        aliases = collect_module_aliases(module.tree)
+        checker = _ParallelChecker(module, det, aliases)
+        if checker.should_run():
+            checker.run()
+            violations.extend(checker.violations)
+    return violations
+
+
+class _ParallelChecker:
+    def __init__(
+        self,
+        module: SourceModule,
+        det: DeterminismSpec,
+        aliases: ModuleAliases,
+    ) -> None:
+        self.module = module
+        self.det = det
+        self.aliases = aliases
+        self.violations: List[Violation] = []
+        self.functions: Dict[str, ast.AST] = {}
+        self.mutable_globals: Dict[str, int] = {}
+        self.unsafe_globals: Dict[str, str] = {}
+        self.dispatch_sites: List[Tuple[ast.Call, str, Optional[ast.expr]]] = []
+
+    def should_run(self) -> bool:
+        if self.det.is_fork_safe(self.module.name):
+            return True
+        self._find_dispatch_sites()
+        return bool(self.dispatch_sites)
+
+    def run(self) -> None:
+        if not self.dispatch_sites:
+            self._find_dispatch_sites()
+        self._collect_module_scope()
+        self._check_unordered_merges()
+        workers = self._worker_roots()
+        reachable = self._reachable(workers)
+        for name in sorted(reachable):
+            self._check_worker_body(name, self.functions[name])
+
+    # -- discovery -----------------------------------------------------
+    def _find_dispatch_sites(self) -> None:
+        for node in ast.walk(self.module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_call_name(node.func)
+            if name is None:
+                continue
+            head, _, member = name.rpartition(".")
+            if head and member in _MAP_METHODS:
+                worker = node.args[0] if node.args else None
+                self.dispatch_sites.append((node, member, worker))
+            elif member == "Process":
+                in_mp = head in self.aliases.module_names("multiprocessing")
+                from_mp = not head and (
+                    self.aliases.member_name("multiprocessing", member)
+                    == "Process"
+                )
+                if in_mp or from_mp:
+                    target: Optional[ast.expr] = None
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            target = kw.value
+                    self.dispatch_sites.append((node, member, target))
+
+    def _collect_module_scope(self) -> None:
+        for stmt in self.module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt
+                continue
+            value: Optional[ast.expr] = None
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            if value is None:
+                continue
+            kind = self._classify_global(value)
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if kind == "mutable":
+                    self.mutable_globals[target.id] = stmt.lineno
+                elif kind == "unsafe":
+                    self.unsafe_globals[target.id] = _ctor_label(value)
+
+    def _classify_global(self, value: ast.expr) -> Optional[str]:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            return "mutable"
+        if isinstance(value, ast.Call):
+            name = dotted_call_name(value.func)
+            if name in _MUTABLE_CTORS:
+                return "mutable"
+            if name in _FORK_UNSAFE_CTORS:
+                return "unsafe"
+        return None
+
+    def _worker_roots(self) -> Set[str]:
+        roots: Set[str] = set()
+        for site, member, worker in self.dispatch_sites:
+            if worker is None:
+                continue
+            if isinstance(worker, ast.Lambda) or (
+                isinstance(worker, ast.Name)
+                and worker.id not in self.functions
+                and self._is_nested_function(worker.id)
+            ):
+                self._flag(
+                    "parallel-unsafe-capture",
+                    worker,
+                    f"{member}() dispatches a closure worker; closures "
+                    "capture frame state that does not fork/pickle "
+                    "cleanly — use a module-level function taking an "
+                    "explicit payload",
+                )
+                continue
+            if isinstance(worker, ast.Name) and worker.id in self.functions:
+                roots.add(worker.id)
+        return roots
+
+    def _is_nested_function(self, name: str) -> bool:
+        for node in ast.walk(self.module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return True
+        return False
+
+    def _reachable(self, roots: Set[str]) -> Set[str]:
+        """Same-module call-graph closure over bare-name calls."""
+        seen: Set[str] = set()
+        frontier = sorted(name for name in roots if name in self.functions)
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for node in ast.walk(self.functions[name]):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name
+                ):
+                    callee = node.func.id
+                    if callee in self.functions and callee not in seen:
+                        frontier.append(callee)
+        return seen
+
+    # -- checks --------------------------------------------------------
+    def _check_unordered_merges(self) -> None:
+        for site, member, _worker in self.dispatch_sites:
+            if member in _UNORDERED_METHODS or member == "apply_async":
+                self._flag(
+                    "parallel-unordered-merge",
+                    site,
+                    f"{member}() yields results in completion order; merge "
+                    "by shard index (pool.map / imap with enumerate) so the "
+                    "artifact is worker-count-invariant",
+                )
+        # as_completed is a free function, not a pool method.
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_call_name(node.func)
+                bare = name.rpartition(".")[2] if name else None
+                if bare == "as_completed":
+                    self._flag(
+                        "parallel-unordered-merge",
+                        node,
+                        "as_completed() yields futures in completion order; "
+                        "index results by shard instead",
+                    )
+
+    def _check_worker_body(self, name: str, func: ast.AST) -> None:
+        local_shadows = self._local_names(func)
+        for node in ast.walk(func):
+            self._check_global_write(name, node, local_shadows)
+            self._check_unsafe_read(name, node, local_shadows)
+
+    def _local_names(self, func: ast.AST) -> Set[str]:
+        """Parameter and plain-assignment names that shadow globals."""
+        names: Set[str] = set()
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]:
+                names.add(arg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.Global):
+                names.difference_update(node.names)
+        return names
+
+    def _check_global_write(
+        self, worker: str, node: ast.AST, shadows: Set[str]
+    ) -> None:
+        target: Optional[str] = None
+        how = ""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            raw_targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in raw_targets:
+                if isinstance(t, ast.Subscript) and isinstance(
+                    t.value, ast.Name
+                ):
+                    target, how = t.value.id, "subscript-assigns"
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            target, how = node.target.id, "aug-assigns"
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATING_METHODS and isinstance(
+                node.func.value, ast.Name
+            ):
+                target, how = node.func.value.id, f"calls .{node.func.attr} on"
+        if isinstance(node, ast.Global):
+            for gname in node.names:
+                if gname in self.mutable_globals or gname in self.functions:
+                    target, how = gname, "declares global"
+        if target is None or target not in self.mutable_globals:
+            return
+        if how != "declares global" and target in shadows:
+            return
+        self._flag(
+            "parallel-global-write",
+            node,
+            f"worker-reachable {worker}() {how} module-level "
+            f"{target!r} (defined line {self.mutable_globals[target]}); "
+            "fork workers mutate private copies — return results instead, "
+            "or noqa with a per-process justification",
+        )
+
+    def _check_unsafe_read(
+        self, worker: str, node: ast.AST, shadows: Set[str]
+    ) -> None:
+        if not isinstance(node, ast.Name) or not isinstance(
+            node.ctx, ast.Load
+        ):
+            return
+        if node.id in shadows or node.id not in self.unsafe_globals:
+            return
+        label = self.unsafe_globals[node.id]
+        self._flag(
+            "parallel-unsafe-capture",
+            node,
+            f"worker-reachable {worker}() reads module-level {node.id!r} "
+            f"(a {label} result); open handles and live recorders do not "
+            "survive fork — construct them inside the worker",
+        )
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.module.path,
+                line=getattr(node, "lineno", 0),
+                message=f"{self.module.name}: {message}",
+            )
+        )
+
+
+def _ctor_label(value: ast.expr) -> str:
+    if isinstance(value, ast.Call):
+        name = dotted_call_name(value.func)
+        if name:
+            return f"{name}()"
+    return "fork-unsafe constructor"

@@ -12,11 +12,15 @@ Suppression: a violation is dropped when the *flagged line* carries a
 
 from __future__ import annotations
 
+import json
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*=\s*(?P<rules>[\w,\s-]+))?")
+
+#: Schema tag for the machine-readable JSON report.
+JSON_SCHEMA = "repro-lint/1"
 
 
 @dataclass(frozen=True)
@@ -99,3 +103,89 @@ def render_report(
         summary += f" ({suppressed} suppressed)"
     lines.append(summary)
     return "\n".join(lines)
+
+
+def _sorted_rows(violations: Sequence[Violation]) -> List[Violation]:
+    return sorted(violations, key=lambda v: (v.rule, v.path, v.line, v.message))
+
+
+def render_json(
+    violations: Sequence[Violation],
+    files_checked: int,
+    suppressed: int = 0,
+    notes: Sequence[str] = (),
+) -> str:
+    """Machine-readable report (schema ``repro-lint/1``), byte-stable.
+
+    Keys are emitted in a fixed order and rows are fully sorted, so the
+    same findings always serialize to the same bytes — CI can diff the
+    artifact across runs.
+    """
+    document: Dict[str, Any] = {
+        "schema": JSON_SCHEMA,
+        "ok": not violations,
+        "files_checked": files_checked,
+        "suppressed": suppressed,
+        "notes": list(notes),
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "message": v.message,
+            }
+            for v in _sorted_rows(violations)
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    files_checked: int,
+    suppressed: int = 0,
+    notes: Sequence[str] = (),
+) -> str:
+    """Minimal SARIF 2.1.0 document for code-scanning annotation."""
+    rows = _sorted_rows(violations)
+    rule_ids = sorted({v.rule for v in rows})
+    document: Dict[str, Any] = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/LINTING.md",
+                        "rules": [{"id": rule} for rule in rule_ids],
+                    }
+                },
+                "properties": {
+                    "files_checked": files_checked,
+                    "suppressed": suppressed,
+                    "notes": list(notes),
+                },
+                "results": [
+                    {
+                        "ruleId": v.rule,
+                        "level": "error",
+                        "message": {"text": v.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": v.path},
+                                    "region": {"startLine": max(v.line, 1)},
+                                }
+                            }
+                        ],
+                    }
+                    for v in rows
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"

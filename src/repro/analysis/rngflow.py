@@ -1,0 +1,250 @@
+"""RNG-flow rules: every random draw must come from an owned, seeded
+``random.Random`` instance.
+
+Applied to modules whose determinism contract is ``deterministic``.
+Three rules:
+
+``rng-module-state``
+    Use of the process-global RNG: calls to module-level ``random.*``
+    functions (``random.random()``, ``random.shuffle()``, ...), a
+    ``random.Random`` constructed at module scope, or a ``global``
+    statement rebinding an RNG-typed name.  Process-global RNG state
+    makes results depend on call interleaving across the whole process
+    (and across library code), which breaks replay.
+``rng-seed-derivation``
+    A ``random.Random(seed)`` whose seed expression calls a helper not
+    on the ``[rng] blessed`` list in ``determinism.toml``.  Literals,
+    variables/attributes, and arithmetic over them are always fine —
+    the rule only constrains *calls*, so time-, hash-, or urandom-based
+    seeding can't slip in.
+``rng-worker-share``
+    A name bound to a ``random.Random`` instance appears in the
+    argument payload of a worker dispatch (``Pool.map``/``imap``/
+    ``starmap``/``apply_async``, executor ``submit``/``map``,
+    ``Process(...)``).  RNG objects must not cross process boundaries:
+    each worker derives its own substream from a seed, or fork-copied
+    state silently diverges from the serial run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.astutil import (
+    ModuleAliases,
+    collect_module_aliases,
+    dotted_call_name,
+)
+from repro.analysis.imports import SourceModule
+from repro.analysis.report import Violation
+from repro.analysis.spec import DeterminismSpec
+
+#: random-module members that are legitimate to reference (types and
+#: non-drawing helpers), as opposed to draws from the global instance.
+_RANDOM_TYPES = ("Random", "SystemRandom", "getstate", "setstate")
+
+#: Seed-expression calls always allowed besides the blessed helpers.
+_SEED_BUILTIN_OK = ("int", "abs", "len")
+
+#: Worker-dispatch methods whose argument payload crosses a process
+#: (or thread) boundary.
+_DISPATCH_METHODS = (
+    "map",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "map_async",
+    "apply",
+    "apply_async",
+    "submit",
+)
+
+
+def check_rngflow(
+    modules: Sequence[SourceModule], det: DeterminismSpec
+) -> List[Violation]:
+    """Run the RNG-flow rules over already-parsed modules."""
+    violations: List[Violation] = []
+    for module in modules:
+        if not det.is_deterministic(module.name):
+            continue
+        aliases = collect_module_aliases(module.tree)
+        checker = _RngChecker(module, det, aliases)
+        checker.run()
+        violations.extend(checker.violations)
+    return violations
+
+
+class _RngChecker:
+    def __init__(
+        self,
+        module: SourceModule,
+        det: DeterminismSpec,
+        aliases: ModuleAliases,
+    ) -> None:
+        self.module = module
+        self.det = det
+        self.aliases = aliases
+        self.violations: List[Violation] = []
+        self.rng_names: Set[str] = set()
+
+    def run(self) -> None:
+        self._collect_rng_names()
+        self._check_module_scope_ctors()
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.Call):
+                self._check_global_draw(node)
+                self._check_seed_derivation(node)
+                self._check_dispatch(node)
+            elif isinstance(node, ast.Global):
+                for name in node.names:
+                    if name in self.rng_names:
+                        self._flag(
+                            "rng-module-state",
+                            node,
+                            f"'global {name}' rebinds an RNG across calls; "
+                            "pass the Random instance explicitly",
+                        )
+
+    # -- helpers -------------------------------------------------------
+    def _is_rng_ctor(self, node: ast.expr) -> bool:
+        """``random.Random(...)`` / ``Random(...)`` (from-import)."""
+        if not isinstance(node, ast.Call):
+            return False
+        name = dotted_call_name(node.func)
+        if name is None:
+            return False
+        head, _, member = name.rpartition(".")
+        if member in ("Random", "SystemRandom"):
+            if head in self.aliases.module_names("random"):
+                return True
+            if not head and self.aliases.member_name("random", member) in (
+                "Random",
+                "SystemRandom",
+            ):
+                return True
+        return False
+
+    def _collect_rng_names(self) -> None:
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.Assign) and self._is_rng_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.rng_names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and self._is_rng_ctor(node.value)
+                and isinstance(node.target, ast.Name)
+            ):
+                self.rng_names.add(node.target.id)
+
+    # -- rng-module-state ---------------------------------------------
+    def _check_module_scope_ctors(self) -> None:
+        for stmt in self.module.tree.body:
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and self._is_rng_ctor(value):
+                self._flag(
+                    "rng-module-state",
+                    stmt,
+                    "random.Random constructed at module scope: import-time "
+                    "RNG state is shared by every caller — construct it "
+                    "where the seed is known",
+                )
+
+    def _check_global_draw(self, node: ast.Call) -> None:
+        name = dotted_call_name(node.func)
+        if name is None:
+            return
+        head, _, member = name.rpartition(".")
+        if head in self.aliases.module_names("random"):
+            if member not in _RANDOM_TYPES:
+                self._flag(
+                    "rng-module-state",
+                    node,
+                    f"random.{member}() draws from the process-global RNG; "
+                    "use an explicitly seeded random.Random instance",
+                )
+        elif not head:
+            imported = self.aliases.member_name("random", name)
+            if imported is not None and imported not in _RANDOM_TYPES:
+                self._flag(
+                    "rng-module-state",
+                    node,
+                    f"{name}() (from random import {imported}) draws from "
+                    "the process-global RNG; use an explicitly seeded "
+                    "random.Random instance",
+                )
+
+    # -- rng-seed-derivation ------------------------------------------
+    def _check_seed_derivation(self, node: ast.Call) -> None:
+        if not self._is_rng_ctor(node) or not node.args:
+            return
+        seed = node.args[0]
+        for sub in ast.walk(seed):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_call_name(sub.func)
+            bare = name.rpartition(".")[2] if name else None
+            if bare in _SEED_BUILTIN_OK:
+                continue
+            if bare in self.det.blessed_seed_calls:
+                continue
+            shown = name if name is not None else "<dynamic>"
+            self._flag(
+                "rng-seed-derivation",
+                sub,
+                f"seed expression calls {shown}(), which is not a blessed "
+                "seed helper ([rng] blessed in determinism.toml); derive "
+                "seeds from config values with arithmetic or a blessed "
+                "helper",
+            )
+
+    # -- rng-worker-share ---------------------------------------------
+    def _check_dispatch(self, node: ast.Call) -> None:
+        if not self.rng_names:
+            return
+        name = dotted_call_name(node.func)
+        if name is None:
+            return
+        head, _, member = name.rpartition(".")
+        is_dispatch = bool(head) and member in _DISPATCH_METHODS
+        is_process = member == "Process" and (
+            head in self.aliases.module_names("multiprocessing") or not head
+        )
+        if not is_dispatch and not is_process:
+            return
+        payload: List[ast.expr] = list(node.args)
+        payload.extend(
+            kw.value for kw in node.keywords if kw.arg in ("args", "iterable")
+        )
+        for arg in payload:
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in self.rng_names
+                ):
+                    self._flag(
+                        "rng-worker-share",
+                        sub,
+                        f"RNG instance {sub.id!r} crosses a worker boundary "
+                        f"via {member}(); send a derived seed instead and "
+                        "construct the Random inside the worker",
+                    )
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.module.path,
+                line=getattr(node, "lineno", 0),
+                message=f"{self.module.name}: {message}",
+            )
+        )

@@ -34,9 +34,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.errors import ProblemError
 
 SPEC_SCHEMA = "repro-layering/1"
+DETERMINISM_SCHEMA = "repro-determinism/1"
 
-#: Where the spec lives, relative to the repository root.
+#: Where the specs live, relative to the repository root.
 DEFAULT_SPEC_RELPATH = Path("docs") / "layering.toml"
+DEFAULT_DETERMINISM_RELPATH = Path("docs") / "determinism.toml"
+
+#: Contract labels a module prefix may declare in ``[modules]``.
+_CONTRACTS = ("deterministic", "fork-safe", "exempt")
 
 
 @dataclass(frozen=True)
@@ -72,7 +77,10 @@ def _is_prefix(prefix: str, module: str) -> bool:
 
 def load_spec(path: Union[str, Path]) -> LayeringSpec:
     """Load and validate a ``repro-layering/1`` spec file."""
-    text = Path(path).read_text(encoding="utf-8")
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ProblemError(f"layering spec {path}: {exc}") from exc
     data = _parse_toml(text)
     schema = data.get("schema")
     if schema != SPEC_SCHEMA:
@@ -120,6 +128,97 @@ def _str_tuple(value: Any) -> Tuple[str, ...]:
     if not isinstance(value, (list, tuple)):
         raise ProblemError(f"expected a list of strings, got {value!r}")
     return tuple(str(item) for item in value)
+
+
+# ----------------------------------------------------------------------
+# Determinism contracts (docs/determinism.toml, repro-determinism/1).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeterminismSpec:
+    """Parsed determinism contracts; see ``docs/determinism.toml``.
+
+    ``modules`` maps dotted module prefixes to contract-label tuples
+    (``deterministic`` / ``fork-safe`` / ``exempt``); a module inherits
+    the contracts of its longest matching prefix.  ``wallclock_allow``
+    and ``env_allow`` scope the clock/env rules; ``blessed_seed_calls``
+    names the helpers a ``random.Random`` seed expression may call.
+    """
+
+    modules: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    wallclock_allow: Tuple[str, ...] = ()
+    env_allow: Tuple[str, ...] = ()
+    blessed_seed_calls: Tuple[str, ...] = ()
+
+    def contracts_of(self, module: str) -> Tuple[str, ...]:
+        """Contracts of ``module`` by longest dotted-prefix match."""
+        best: Tuple[str, ...] = ()
+        best_len = -1
+        for prefix, contracts in self.modules.items():
+            if _is_prefix(prefix, module) and len(prefix) > best_len:
+                best = contracts
+                best_len = len(prefix)
+        return best
+
+    def is_exempt(self, module: str) -> bool:
+        return "exempt" in self.contracts_of(module)
+
+    def is_deterministic(self, module: str) -> bool:
+        contracts = self.contracts_of(module)
+        return "deterministic" in contracts and "exempt" not in contracts
+
+    def is_fork_safe(self, module: str) -> bool:
+        contracts = self.contracts_of(module)
+        return "fork-safe" in contracts and "exempt" not in contracts
+
+    def allows_wallclock(self, module: str) -> bool:
+        return any(_is_prefix(p, module) for p in self.wallclock_allow)
+
+    def allows_env(self, module: str) -> bool:
+        return any(_is_prefix(p, module) for p in self.env_allow)
+
+
+def load_determinism_spec(path: Union[str, Path]) -> DeterminismSpec:
+    """Load and validate a ``repro-determinism/1`` contracts file."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ProblemError(f"determinism spec {path}: {exc}") from exc
+    data = _parse_toml(text)
+    schema = data.get("schema")
+    if schema != DETERMINISM_SCHEMA:
+        raise ProblemError(
+            f"determinism spec {path}: schema {schema!r}, "
+            f"expected {DETERMINISM_SCHEMA!r}"
+        )
+    raw_modules = data.get("modules")
+    if not isinstance(raw_modules, Mapping) or not raw_modules:
+        raise ProblemError(
+            f"determinism spec {path}: missing [modules] table"
+        )
+    modules: Dict[str, Tuple[str, ...]] = {}
+    for module, contracts in raw_modules.items():
+        labels = _str_tuple(contracts)
+        for label in labels:
+            if label not in _CONTRACTS:
+                raise ProblemError(
+                    f"determinism spec {path}: unknown contract {label!r} "
+                    f"on {module!r} (expected one of {_CONTRACTS})"
+                )
+        modules[str(module)] = labels
+    allowlist = data.get("allowlist", {})
+    if not isinstance(allowlist, Mapping):
+        raise ProblemError(
+            f"determinism spec {path}: [allowlist] must be a table"
+        )
+    rng = data.get("rng", {})
+    if not isinstance(rng, Mapping):
+        raise ProblemError(f"determinism spec {path}: [rng] must be a table")
+    return DeterminismSpec(
+        modules=modules,
+        wallclock_allow=_str_tuple(allowlist.get("wallclock", [])),
+        env_allow=_str_tuple(allowlist.get("env", [])),
+        blessed_seed_calls=_str_tuple(rng.get("blessed", [])),
+    )
 
 
 # ----------------------------------------------------------------------

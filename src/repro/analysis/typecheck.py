@@ -1,9 +1,10 @@
 """The scoped ``mypy --strict`` pass behind ``repro lint --types``.
 
 Only the typed core is checked — :mod:`repro.errors`,
-:mod:`repro.obs.recorder`, and :mod:`repro.analysis` itself (the modules
-shipping under the ``py.typed`` marker) — with ``--follow-imports=skip``
-so the numeric solver layers stay out of scope until they are annotated.
+:mod:`repro.obs.recorder`, :mod:`repro.analysis` itself,
+:mod:`repro.serve.stats`, and :mod:`repro.sweep` (the modules shipping
+under the ``py.typed`` marker) — with ``--follow-imports=skip`` so the
+numeric solver layers stay out of scope until they are annotated.
 
 mypy ships in the ``dev`` extra; when it is not installed the pass is
 skipped with a note and exit code 0, so ``repro lint --types`` degrades
@@ -24,6 +25,8 @@ TYPED_TARGETS: Tuple[str, ...] = (
     "repro/errors.py",
     "repro/obs/recorder.py",
     "repro/analysis",
+    "repro/serve/stats.py",
+    "repro/sweep.py",
 )
 
 _MYPY_FLAGS: Tuple[str, ...] = (

@@ -39,10 +39,12 @@ and write the merged repro-sweep/1 artifact::
         --policies cheapest,p2c --seeds 1,2,3 -o SWEEP.json
     repro sweep --topology grid:4 --topology random:30 --workers 4
 
-Check the architecture/hygiene rules (and optionally types)::
+Check the architecture/hygiene/determinism rules (and optionally types)::
 
     repro lint
     repro lint --types
+    repro lint --types determinism,rngflow,parallel
+    repro lint --format json --output lint-report.json
 
 List everything available::
 
@@ -53,7 +55,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments import REGISTRY, run_algorithms, summarize
 from repro.experiments.report import render_table
@@ -283,8 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check architecture layering, code hygiene, and (optionally) "
-        "types",
+        help="check architecture layering, code hygiene, determinism "
+        "contracts, and (optionally) types",
     )
     lint.add_argument(
         "--spec", default=None, metavar="PATH",
@@ -292,14 +294,36 @@ def build_parser() -> argparse.ArgumentParser:
         "up from the package)",
     )
     lint.add_argument(
+        "--det-spec", default=None, metavar="PATH",
+        help="determinism contracts (default: docs/determinism.toml found "
+        "by walking up from the package; determinism families are "
+        "skipped with a note when absent)",
+    )
+    lint.add_argument(
         "--package", default=None, metavar="DIR",
         help="package directory to lint (default: the installed repro "
         "package)",
     )
     lint.add_argument(
-        "--types", action="store_true",
-        help="also run mypy --strict over the typed core "
-        "(skipped with a note if mypy is not installed)",
+        "--types", nargs="?", const="all,mypy", default=None,
+        metavar="FAMILIES",
+        help="comma-separated rule families to run: architecture, hygiene, "
+        "determinism, rngflow, parallel, plus 'all' (every static family) "
+        "and 'mypy' (strict typecheck of the typed core, skipped with a "
+        "note if mypy is not installed).  Bare --types means 'all,mypy'; "
+        "omitting the flag runs every static family without mypy",
+    )
+    lint.add_argument(
+        "--format", dest="fmt", choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default text); json is the byte-stable "
+        "repro-lint/1 schema, sarif is SARIF 2.1.0",
+    )
+    lint.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="also write the formatted report to PATH (stdout is printed "
+        "either way, so CI can tee the artifact without masking the "
+        "exit code)",
     )
 
     sub.add_parser("list", help="list experiments and algorithms")
@@ -598,21 +622,68 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import run_lint
+    from repro.analysis.linter import FAMILIES
     from repro.analysis.typecheck import run_typecheck
+    from repro.errors import ProblemError
 
-    report = run_lint(
-        package_dir=Path(args.package) if args.package else None,
-        spec_path=Path(args.spec) if args.spec else None,
-    )
-    print(report.render())
+    try:
+        families, run_mypy = _parse_lint_types(args.types, FAMILIES)
+        report = run_lint(
+            package_dir=Path(args.package) if args.package else None,
+            spec_path=Path(args.spec) if args.spec else None,
+            families=families,
+            det_spec_path=Path(args.det_spec) if args.det_spec else None,
+        )
+        rendered = report.render(args.fmt)
+    except ProblemError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+    print(rendered.rstrip("\n"))
     status = 0 if report.ok else 2
-    if args.types:
+    if run_mypy:
         src_root = Path(args.package).parent if args.package else None
         type_status, output = run_typecheck(src_root=src_root)
         print()
-        print(output.rstrip() or "repro lint --types: clean")
+        print(output.rstrip() or "repro lint mypy: clean")
         status = status or type_status
     return status
+
+
+def _parse_lint_types(
+    value: Optional[str], known_families: Sequence[str]
+) -> Tuple[List[str], bool]:
+    """Resolve ``--types`` into (static families to run, run mypy?).
+
+    ``None`` (flag omitted) runs every static family without mypy; a
+    bare ``--types`` resolves to ``all,mypy`` for backward
+    compatibility with the original boolean flag.
+    """
+    from repro.errors import ProblemError
+
+    if value is None:
+        return list(known_families), False
+    families: List[str] = []
+    run_mypy = False
+    for token in (part.strip() for part in value.split(",")):
+        if not token:
+            continue
+        if token == "mypy":
+            run_mypy = True
+        elif token == "all":
+            families.extend(
+                f for f in known_families if f not in families
+            )
+        elif token in known_families:
+            if token not in families:
+                families.append(token)
+        else:
+            raise ProblemError(
+                f"unknown lint type {token!r}; expected one of "
+                f"{', '.join([*known_families, 'all', 'mypy'])}"
+            )
+    return families, run_mypy
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -160,8 +160,13 @@ def _commit_chunk(
                     edge_key(u, v) for u, v, _ in tree.edges()
                 )
     if cache_list:
+        # Sort the edge set before summing: float addition is order-
+        # dependent and frozenset iteration order is not byte-stable.
+        ordered_edges = sorted(
+            tree_edges, key=lambda key: tuple(sorted(map(repr, key)))
+        )
         dissemination = sum(
-            state.costs.edge_cost(*tuple(key)) for key in tree_edges
+            state.costs.edge_cost(*tuple(key)) for key in ordered_edges
         )
 
     placement = ChunkPlacement(

@@ -216,8 +216,10 @@ def build_chunk_model(
                 (u, v) if (u, v) in edge_vars else (v, u) for u, v in arcs
             ]
             if edges_at_i:
+                # dict.fromkeys dedupes while keeping first-seen order;
+                # set() here would emit constraint terms in hash order.
                 model.add_constraint(
-                    lin_sum(edge_vars[e] for e in set(edges_at_i))
+                    lin_sum(edge_vars[e] for e in dict.fromkeys(edges_at_i))
                     - open_vars[i]
                     >= 0,
                     name=f"cut0_{i}",

@@ -85,8 +85,10 @@ class _ChunkObjective:
             path = path_from_tree(self._parents[a], a, b)
             for u, v in zip(path, path[1:]):
                 edges.add(frozenset((u, v)))
+        # Canonically ordered sum: set iteration order is not byte-stable
+        # and float addition is order-dependent.
         total = 0.0
-        for key in edges:
+        for key in sorted(edges, key=lambda e: tuple(sorted(map(repr, e)))):
             u, v = tuple(key)
             total += self.instance.steiner_graph.weight(u, v)
         return total

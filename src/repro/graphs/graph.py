@@ -191,10 +191,13 @@ class Graph:
         missing = keep - set(self._adj)
         if missing:
             raise NodeNotFoundError(next(iter(missing)))
+        # Insert in this graph's adjacency order, not set order: the
+        # subgraph's node/edge ordering must not vary with hash seeds.
+        ordered = [node for node in self._adj if node in keep]
         g = Graph()
-        for node in keep:
+        for node in ordered:
             g.add_node(node)
-        for u in keep:
+        for u in ordered:
             for v, w in self._adj[u].items():
                 if v in keep and not g.has_edge(u, v):
                     g.add_edge(u, v, w)

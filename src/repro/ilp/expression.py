@@ -91,8 +91,10 @@ class Variable:
     def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
         return self._expr() == other
 
+    # Identity hash: Variables live in insertion-ordered dicts inside one
+    # solve; the hash value never reaches an ordering or emitted result.
     def __hash__(self) -> int:
-        return id(self)
+        return id(self)  # repro: noqa=hash-ordering
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
@@ -181,8 +183,10 @@ class LinExpr:
     def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
         return Constraint(self - other, EQUAL)
 
+    # Identity hash, same contract as Variable.__hash__ above: never used
+    # to order anything that lands in a result.
     def __hash__(self) -> int:
-        return id(self)
+        return id(self)  # repro: noqa=hash-ordering
 
     # -- evaluation ------------------------------------------------------
     def value(self, assignment: Mapping[Variable, float]) -> float:

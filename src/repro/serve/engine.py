@@ -649,11 +649,63 @@ def serve_placement(
     The one-call entry point: builds a :class:`ServeEngine`, runs it,
     returns the :class:`~repro.serve.stats.ServeReport`.
     """
+    resolved = config if config is not None else ServeConfig()
     engine = ServeEngine(
         placement,
         workload,
         num_requests,
         policy=policy,
-        config=config if config is not None else ServeConfig(),
+        config=resolved,
     )
-    return engine.run()
+    report = engine.run()
+    _sanitize_serve_equivalence(
+        report, placement, workload, num_requests, policy, resolved
+    )
+    return report
+
+
+def _sanitize_serve_equivalence(
+    report: ServeReport,
+    placement: CachePlacement,
+    workload: Workload,
+    num_requests: int,
+    policy: Union[str, ReplicaSelector],
+    config: ServeConfig,
+) -> None:
+    """REPRO_SANITIZE cross-check: batched == per-request, byte for byte.
+
+    Only for batched replays small enough that a serial shadow run is
+    cheap (``SERVE_EQUIVALENCE_MAX_REQUESTS``).  The shadow replay runs
+    under null obs sinks so counters and traces record one serve, not
+    two.
+    """
+    from repro.analysis import contracts
+
+    if (
+        not contracts.sanitize_enabled()
+        or config.engine != ENGINE_BATCHED
+        or num_requests > contracts.SERVE_EQUIVALENCE_MAX_REQUESTS
+    ):
+        return
+    from dataclasses import replace
+
+    from repro.obs import NullRecorder, NullTracer, use_recorder, use_tracer
+
+    shadow = ServeEngine(
+        placement,
+        workload,
+        num_requests,
+        policy=policy,
+        config=replace(config, engine=ENGINE_PER_REQUEST),
+    )
+    with use_recorder(NullRecorder()):
+        with use_tracer(NullTracer()):
+            reference = shadow.run()
+    contracts.check_serve_equivalence(
+        batched_json=report.to_json(),
+        reference_json=reference.to_json(),
+        context=(
+            f"serve_placement(requests={num_requests}, "
+            f"seed={config.seed})"
+        ),
+    )

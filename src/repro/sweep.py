@@ -198,12 +198,12 @@ class SweepGrid:
 #: process.  Cells within one worker share solved placements; the memo
 #: never crosses processes, and placements are deterministic, so the
 #: cache is invisible in the artifact.
-_PLACEMENT_MEMO: Dict[Tuple, Any] = {}
+_PLACEMENT_MEMO: Dict[Tuple[str, int, int, int, str], Any] = {}
 
 
 def _cell_placement(
     topology: str, seed: int, chunks: int, capacity: int, algorithm: str
-):
+) -> Any:
     kind, size = parse_topology(topology)
     # Grid topologies are seed-independent; keep one memo entry for all
     # seeds instead of re-solving per seed.
@@ -219,7 +219,10 @@ def _cell_placement(
             )
         placement = SOLVERS[algorithm](problem)
         placement.validate()
-        _PLACEMENT_MEMO[key] = placement
+        # Deliberate per-process memo: each fork keeps a private copy and
+        # the placement for a key is a pure function of the key, so the
+        # cache can never disagree across workers.
+        _PLACEMENT_MEMO[key] = placement  # repro: noqa=parallel-global-write
     return placement
 
 
@@ -390,7 +393,7 @@ def render_sweep(document: Dict[str, Any]) -> str:
     """Aggregate table for the terminal."""
     from repro.experiments.report import render_table
 
-    rows = [
+    rows: List[List[Any]] = [
         [
             row["workload"],
             row["policy"],
@@ -412,9 +415,10 @@ def render_sweep(document: Dict[str, Any]) -> str:
         f"{len(grid['seeds'])} seeds), "
         f"{grid['requests']} requests/cell, {grid['algorithm']}"
     )
-    return render_table(
+    table: str = render_table(
         ["workload", "policy", "cells", "completed", "gini", "jain",
          "p99 s", "req/s"],
         rows,
         title=title,
     )
+    return table

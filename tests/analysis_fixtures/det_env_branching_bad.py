@@ -1,0 +1,13 @@
+"""Fixture: env-var-dependent branching in a result path (flagged)."""
+
+import os
+
+
+def pick_mode():
+    if os.environ.get("FIXTURE_FAST"):
+        return "fast"
+    return "full"
+
+
+def pick_scale():
+    return int(os.getenv("FIXTURE_SCALE", "1"))

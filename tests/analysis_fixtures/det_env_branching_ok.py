@@ -1,0 +1,11 @@
+"""Fixture: behavior driven by explicit arguments, not env (clean)."""
+
+
+def pick_mode(fast):
+    if fast:
+        return "fast"
+    return "full"
+
+
+def pick_scale(scale=1):
+    return int(scale)

@@ -1,0 +1,12 @@
+"""Fixture: float accumulation over unordered collections (flagged)."""
+
+import math
+
+
+def total_cost(costs):
+    return sum({c * 1.5 for c in costs})
+
+
+def total_weight(edges):
+    pending = set(edges)
+    return math.fsum(w for w in pending)

@@ -1,0 +1,12 @@
+"""Fixture: float accumulation in a canonical order (clean)."""
+
+import math
+
+
+def total_cost(costs):
+    return sum(sorted(c * 1.5 for c in costs))
+
+
+def total_weight(edges):
+    pending = set(edges)
+    return math.fsum(sorted(pending))

@@ -1,0 +1,13 @@
+"""Fixture: hash()/id()-dependent values and orderings (flagged)."""
+
+
+def bucket(value, buckets):
+    return hash(value) % buckets
+
+
+def order_by_identity(items):
+    return sorted(items, key=id)
+
+
+def tag(obj):
+    return f"obj-{id(obj)}"

@@ -1,0 +1,13 @@
+"""Fixture: stable keys instead of hash()/id() (clean)."""
+
+
+def bucket(value, buckets):
+    return int(value) % buckets
+
+
+def order_by_name(items):
+    return sorted(items, key=str)
+
+
+def tag(obj, index):
+    return f"obj-{index}"

@@ -1,0 +1,21 @@
+"""Fixture: set iteration feeding ordered output (flagged)."""
+
+
+def order_from_display():
+    out = []
+    for item in {3, 1, 2}:
+        out.append(item)
+    return out
+
+
+def order_from_call(values):
+    return [v * 2 for v in set(values)]
+
+
+def order_from_variable(values):
+    chosen = set(values)
+    return list(chosen)
+
+
+def order_from_join(names):
+    return ",".join({str(n) for n in names})

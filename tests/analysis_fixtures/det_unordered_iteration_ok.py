@@ -1,0 +1,27 @@
+"""Fixture: set contents consumed in sorted or order-free ways (clean)."""
+
+
+def order_from_display():
+    out = []
+    for item in sorted({3, 1, 2}):
+        out.append(item)
+    return out
+
+
+def order_from_call(values):
+    return [v * 2 for v in sorted(set(values))]
+
+
+def membership_only(values, probe):
+    chosen = set(values)
+    return probe in chosen
+
+
+def order_free_reductions(values):
+    chosen = set(values)
+    return len(chosen), min(chosen), max(chosen), any(v > 0 for v in chosen)
+
+
+def dict_views_are_ordered(mapping):
+    # dicts iterate in insertion order — deterministic, not flagged.
+    return [mapping[k] for k in mapping] + list(mapping.values())

@@ -1,0 +1,18 @@
+"""Fixture: monotonic/wall clock reads in result paths (flagged)."""
+
+import time
+from datetime import datetime
+
+
+def measure(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def deadline():
+    return time.monotonic() + 5.0
+
+
+def stamp():
+    return datetime.now().isoformat()

@@ -1,0 +1,15 @@
+"""Fixture: simulated time instead of clock reads (clean)."""
+
+
+def measure(work, sim_clock):
+    start = sim_clock.now
+    work()
+    return sim_clock.now - start
+
+
+def deadline(sim_clock):
+    return sim_clock.now + 5.0
+
+
+def stamp(created_unix):
+    return str(created_unix)

@@ -1,0 +1,23 @@
+"""Fixture: Pool workers mutating module-level state (flagged)."""
+
+import multiprocessing
+
+_RESULTS = {}
+_COUNTS = []
+
+
+def run(payloads):
+    with multiprocessing.Pool(2) as pool:
+        pool.map(_cell, payloads)
+    return dict(_RESULTS)
+
+
+def _cell(payload):
+    value = _solve(payload)
+    _RESULTS[payload] = value
+    _COUNTS.append(payload)
+    return value
+
+
+def _solve(payload):
+    return payload * 2

@@ -1,0 +1,17 @@
+"""Fixture: Pool workers return results; parent merges by index (clean)."""
+
+import multiprocessing
+
+
+def run(payloads):
+    with multiprocessing.Pool(2) as pool:
+        values = pool.map(_cell, payloads)
+    return dict(zip(payloads, values))
+
+
+def _cell(payload):
+    return _solve(payload)
+
+
+def _solve(payload):
+    return payload * 2

@@ -1,0 +1,15 @@
+"""Fixture: merges keyed by completion order (flagged)."""
+
+import multiprocessing
+
+
+def run(payloads):
+    merged = []
+    with multiprocessing.Pool(2) as pool:
+        for result in pool.imap_unordered(_cell, payloads):
+            merged.append(result)
+    return merged
+
+
+def _cell(payload):
+    return payload * 2

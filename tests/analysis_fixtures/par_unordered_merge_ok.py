@@ -1,0 +1,12 @@
+"""Fixture: merge order fixed by shard index (clean)."""
+
+import multiprocessing
+
+
+def run(payloads):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap(_cell, payloads))
+
+
+def _cell(payload):
+    return payload * 2

@@ -1,0 +1,20 @@
+"""Fixture: fork-unsafe captures in Pool workers (flagged)."""
+
+import multiprocessing
+
+_LOG = open("/tmp/fixture.log", "a")
+
+
+def run(payloads, factor):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(lambda p: p * factor, payloads)
+
+
+def run_logged(payloads):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_cell, payloads)
+
+
+def _cell(payload):
+    _LOG.write(f"{payload}\n")
+    return payload * 2

@@ -1,0 +1,16 @@
+"""Fixture: workers open their own handles, take explicit payloads (clean)."""
+
+import multiprocessing
+
+
+def run(payloads, factor):
+    jobs = [(p, factor) for p in payloads]
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_cell, jobs)
+
+
+def _cell(arg):
+    payload, factor = arg
+    with open("/tmp/fixture.log", "a") as log:
+        log.write(f"{payload}\n")
+    return payload * factor

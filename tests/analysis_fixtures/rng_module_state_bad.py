@@ -1,0 +1,24 @@
+"""Fixture: process-global RNG state (flagged)."""
+
+import random
+from random import shuffle
+
+_SHARED = random.Random(7)
+
+
+def draw():
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def mix(items):
+    shuffle(items)
+    return items
+
+
+def reseed(seed):
+    global _SHARED
+    _SHARED = random.Random(seed)

@@ -1,0 +1,19 @@
+"""Fixture: explicitly seeded, locally owned RNG instances (clean)."""
+
+import random
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def pick(items, rng):
+    return rng.choice(items)
+
+
+def mix(items, seed):
+    rng = random.Random(seed)
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    return shuffled

@@ -1,0 +1,12 @@
+"""Fixture: RNG seeds derived from non-blessed sources (flagged)."""
+
+import random
+import time
+
+
+def clock_seeded():
+    return random.Random(time.time_ns())
+
+
+def hash_seeded(label):
+    return random.Random(hash(label))

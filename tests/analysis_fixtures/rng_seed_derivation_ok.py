@@ -1,0 +1,19 @@
+"""Fixture: seeds from config arithmetic or blessed helpers (clean)."""
+
+import random
+
+
+def derive_seed(base, stream):
+    return base * 1_000_003 + stream
+
+
+def arithmetic_seeded(base, chunk):
+    return random.Random(base * 1_000_003 + chunk)
+
+
+def blessed_seeded(base, stream):
+    return random.Random(derive_seed(base, stream))
+
+
+def literal_seeded():
+    return random.Random(2017)

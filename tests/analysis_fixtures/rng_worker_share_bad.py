@@ -1,0 +1,15 @@
+"""Fixture: a Random instance crossing a worker boundary (flagged)."""
+
+import multiprocessing
+import random
+
+
+def run_cells(payloads, seed):
+    rng = random.Random(seed)
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_cell, [(rng, p) for p in payloads])
+
+
+def _cell(arg):
+    rng, payload = arg
+    return rng.random() * payload

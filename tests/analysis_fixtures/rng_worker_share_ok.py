@@ -1,0 +1,16 @@
+"""Fixture: workers get derived seeds, never RNG objects (clean)."""
+
+import multiprocessing
+import random
+
+
+def run_cells(payloads, seed):
+    jobs = [(seed * 1_000_003 + i, p) for i, p in enumerate(payloads)]
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_cell, jobs)
+
+
+def _cell(arg):
+    cell_seed, payload = arg
+    rng = random.Random(cell_seed)
+    return rng.random() * payload
