@@ -112,6 +112,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace and write it as Chrome "
         "trace-event JSON (open in Perfetto / chrome://tracing)",
     )
+    faults = solve.add_argument_group(
+        "fault injection (dist only)",
+        "radio faults for the distributed protocol; any non-default "
+        "value other than --loss-rate engages the full fault plane "
+        "(lossy floods, partial placements; see docs/FAULTS.md)",
+    )
+    faults.add_argument(
+        "--loss-rate", type=float, default=0.0, metavar="P",
+        help="per-delivery Bernoulli drop probability (default 0)",
+    )
+    faults.add_argument(
+        "--jitter", type=float, default=0.0, metavar="S",
+        help="uniform extra delivery latency in [0, S) simulated seconds "
+        "(default 0; allows reordering)",
+    )
+    faults.add_argument(
+        "--retx-timeout", type=float, default=0.0, metavar="S",
+        help="ack + retransmission timeout with exponential backoff "
+        "(default 0 = no retransmission)",
+    )
+    faults.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="retry budget per message when --retx-timeout is set "
+        "(default 3)",
+    )
+    faults.add_argument(
+        "--churn", action="append", default=None, metavar="T:NODE:KIND",
+        help="scheduled membership change, e.g. 5.0:12:leave "
+        "(repeatable; KIND is leave or join)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=None, metavar="S",
+        help="fault-plane RNG seed (default: reuse the loss seed 0)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -124,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scenario", action="append", metavar="NAME",
         help="run only the named suite scenario (small/medium/large/"
-        "serve-scale; repeatable; default all)",
+        "serve-scale/dist-faults; repeatable; default all)",
     )
     bench.add_argument(
         "--nodes", type=int, default=None, metavar="N",
@@ -143,8 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--quick", action="store_true",
-        help="CI smoke mode: the small and serve-scale scenarios, "
-        "one repeat",
+        help="CI smoke mode: the small, serve-scale and dist-faults "
+        "scenarios, one repeat",
     )
     bench.add_argument(
         "--max-full-rebuilds", type=int, default=None, metavar="N",
@@ -353,10 +387,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         label = f"random network ({args.random} nodes, seed {args.seed})"
     name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
+    fault_config = _parse_fault_config(args)
+    if fault_config is not None and name != "Dist":
+        print("fault-injection flags require --algorithm dist",
+              file=sys.stderr)
+        return 2
+    outcome = None
     with _maybe_trace(args.trace) as tracer:
-        placements = run_algorithms(problem, [name])
+        if fault_config is not None:
+            from repro.distributed import solve_distributed
+            from repro.errors import SimulationError
+
+            try:
+                outcome = solve_distributed(problem, fault_config)
+            except SimulationError as exc:
+                # Bad churn kind / unknown node / producer churn: user
+                # input, not a solver bug.
+                print(f"solve: {exc}", file=sys.stderr)
+                return 2
+            placement = outcome.placement
+        else:
+            placement = run_algorithms(problem, [name])[name]
     _write_trace(tracer, args.trace)
-    placement = placements[name]
     s = summarize(name, placement)
     print(f"{name} on {label}: {problem.num_chunks} chunks, "
           f"capacity {args.capacity}")
@@ -370,6 +422,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         ["total chunk copies", s.total_copies],
     ]
     print(render_table(["metric", "value"], rows))
+    if outcome is not None and outcome.faults is not None:
+        f = outcome.faults
+        print()
+        print(f"faults: {f.stats.total_drops()} drops, "
+              f"{f.stats.total_retx()} retransmissions, "
+              f"{f.stats.total_duplicates()} duplicates suppressed, "
+              f"{f.stats.total_exhausted()} retry budgets exhausted, "
+              f"{f.stats.leaves} leaves / {f.stats.joins} joins")
+        if f.converged:
+            print("all nodes served (converged)")
+        else:
+            print(f"PARTIAL placement: {f.total_unserved} node-chunk "
+                  f"assignments fell back to the producer")
     print()
     for chunk in placement.chunks:
         print(f"chunk {chunk.chunk}: cached at "
@@ -383,6 +448,42 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print("\nper-node load map (* = producer, . = empty):")
             print(render_grid_placement(placement, side=args.grid))
     return 0
+
+
+def _parse_fault_config(args: argparse.Namespace):
+    """Build a ``DistributedConfig`` from the solve fault flags.
+
+    Returns None when every fault flag is at its default, so the plain
+    (registry-driven) solve path stays untouched.
+    """
+    if not (args.loss_rate or args.jitter or args.retx_timeout or args.churn):
+        return None
+    from repro.distributed import DistributedConfig
+
+    churn = []
+    for spec in args.churn or ():
+        parts = spec.split(":")
+        if len(parts) != 3:
+            print(f"--churn expects T:NODE:KIND, got {spec!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        time_text, node_text, kind = parts
+        try:
+            time = float(time_text)
+            node = int(node_text)
+        except ValueError:
+            print(f"--churn expects a float time and integer node, "
+                  f"got {spec!r}", file=sys.stderr)
+            raise SystemExit(2)
+        churn.append((time, node, kind))
+    return DistributedConfig(
+        loss_rate=args.loss_rate,
+        jitter=args.jitter,
+        retx_timeout=args.retx_timeout,
+        max_retries=args.max_retries,
+        churn_schedule=tuple(churn),
+        fault_seed=args.fault_seed,
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -415,9 +516,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scenarios = [BenchScenario(f"custom-{args.nodes}", args.nodes,
                                    seed=args.seed)]
     elif args.quick:
-        # Smoke mode keeps the solver gate (small) and the serving-
-        # throughput gate (serve-scale, 200k batched requests).
-        scenarios = [SUITE_BY_NAME["small"], SUITE_BY_NAME["serve-scale"]]
+        # Smoke mode keeps the solver gate (small), the serving-
+        # throughput gate (serve-scale, 200k batched requests), and the
+        # fault-injection gate (dist-faults: loss + churn + retx).
+        scenarios = [
+            SUITE_BY_NAME["small"],
+            SUITE_BY_NAME["serve-scale"],
+            SUITE_BY_NAME["dist-faults"],
+        ]
     elif args.scenario:
         unknown = [name for name in args.scenario if name not in SUITE_BY_NAME]
         if unknown:

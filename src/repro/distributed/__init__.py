@@ -1,5 +1,11 @@
 """Distributed algorithm: discrete-event simulator + Algorithm 2 protocol."""
 
+from repro.distributed.faults import (
+    ChurnEvent,
+    FaultPlane,
+    FaultReport,
+    FaultStats,
+)
 from repro.distributed.messages import (
     ALL_TYPES,
     BADMIN,
@@ -27,11 +33,15 @@ __all__ = [
     "BADMIN",
     "CC",
     "ChunkSession",
+    "ChurnEvent",
     "DistributedConfig",
     "DistributedOutcome",
     "EventHandle",
     "FREEZE",
     "FROZEN",
+    "FaultPlane",
+    "FaultReport",
+    "FaultStats",
     "MessageStats",
     "NADMIN",
     "NPI",

@@ -36,10 +36,18 @@ ALL_TYPES = (NPI, CC, TIGHT, SPAN, FREEZE, NADMIN, BADMIN)
 
 @dataclass(frozen=True)
 class Message:
-    """Base class: every message names its type, sender and chunk."""
+    """Base class: every message names its type, sender and chunk.
+
+    ``seq`` is the session-unique sequence number stamped by the
+    :class:`~repro.distributed.faults.FaultPlane`.  Retransmissions of a
+    message reuse its original ``seq``, which is what lets receivers
+    suppress duplicate deliveries; ``-1`` marks a message that never
+    crossed the fault plane (unit-test construction).
+    """
 
     sender: Node
     chunk: int
+    seq: int = -1
 
 
 @dataclass(frozen=True)

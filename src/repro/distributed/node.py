@@ -253,6 +253,56 @@ class ProtocolNode:
                 record.payment += step
         self._maybe_become_admin()
 
+    def progress_possible(self) -> bool:
+        """Can this node still change protocol state by ticking alone?
+
+        The fault-mode stall detector (``ChunkSession._tick``) stops the
+        bid clock when the simulator has drained and no online node can
+        make headway without a message it will never receive.  Progress
+        means one of:
+
+        * the client can still freeze — it knows a finite escape cost
+          (producer or an announced open server), which a growing ``α``
+          is guaranteed to cover;
+        * the client still owes a TIGHT or SPAN send — candidate costs
+          are finite, so the bid clock will eventually trigger it (the
+          sent-sets grow monotonically, so this cannot recur forever);
+        * the candidate role can still promote — with ≥ M live SPAN
+          supporters its payments grow every tick until they cover
+          ``f_i`` (or supporters freeze and the condition lapses).
+
+        A node with none of these is inert: ticking it only inflates
+        ``α`` with no observable effect.
+        """
+        if self.state == ACTIVE:
+            if self.producer_cost < math.inf:
+                return True
+            if any(cost < math.inf for cost in self.open_servers.values()):
+                return True
+            if len(self.tight_sent) < len(self.candidates):
+                return True
+            if self.session.span_policy == "all":
+                if any(origin not in self.span_sent for origin in self.gamma):
+                    return True
+            elif self.gamma:
+                best = min(
+                    (o for o in self.gamma),
+                    key=lambda o: (
+                        self.candidates[o], self.session.order_index(o)
+                    ),
+                )
+                if best not in self.span_sent:
+                    return True
+        if self.can_cache and not self.is_admin:
+            live_spans = sum(
+                1
+                for client, record in self.tights.items()
+                if record.spanned and not self.session.is_done(client)
+            )
+            if live_spans >= self.session.span_threshold:
+                return True
+        return False
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

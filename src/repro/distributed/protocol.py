@@ -24,8 +24,6 @@ transmission counts per Table II type are collected in
 
 from __future__ import annotations
 
-import math
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set
 
@@ -35,6 +33,7 @@ from repro.graphs.traversal import hop_distances
 from repro.core.commit import commit_chunk
 from repro.core.placement import CachePlacement, ChunkPlacement
 from repro.core.problem import CachingProblem, ProblemState
+from repro.distributed.faults import PASSTHROUGH, FaultPlane, FaultReport
 from repro.distributed.messages import (
     BADMIN,
     CC,
@@ -107,12 +106,46 @@ class DistributedConfig:
     loss_rate / loss_seed:
         Failure injection: each *unicast* control message (TIGHT, SPAN,
         FREEZE, NADMIN) is independently dropped with this probability
-        (seeded, deterministic).  Floods (NPI, CC, BADMIN) are treated as
-        reliable — broadcast redundancy makes their per-node loss a
-        different regime.  The protocol must still terminate: clients
-        always retain the producer fallback.  Dropped messages are not
-        counted in the message statistics (they never arrived), so loss
-        shows up as degraded placement quality, not accounting noise.
+        (seeded, deterministic).  With no other fault knob engaged,
+        floods (NPI, CC, BADMIN) are treated as reliable — broadcast
+        redundancy makes their per-node loss a different regime.  The
+        protocol must still terminate: clients always retain the
+        producer fallback.  Dropped messages are not counted in the
+        message statistics (they never arrived), so loss shows up as
+        degraded placement quality, not accounting noise.
+    jitter:
+        Uniform per-delivery latency jitter in ``[0, jitter)`` simulated
+        seconds, added on top of ``hops * hop_latency`` — engages the
+        :class:`~repro.distributed.faults.FaultPlane` and lets messages
+        on the same link arrive out of send order.
+    churn_schedule:
+        Scheduled node membership changes — a sequence of
+        :class:`~repro.distributed.faults.ChurnEvent` (or ``(time, node,
+        "leave"|"join")`` tuples).  Offline nodes neither send, receive,
+        nor tick; the producer may never leave.  Applies to every chunk
+        session (each runs the same timeline on its own simulator).
+    retx_timeout:
+        When positive, every delivery (floods included) is acknowledged
+        and retransmitted on timeout with exponential backoff
+        (``retx_timeout * 2**attempt``), up to ``max_retries`` retries;
+        duplicate deliveries are suppressed by per-message sequence
+        numbers.  ``0`` (default) disables retransmission.
+    max_retries:
+        Retry budget per message once ``retx_timeout`` is engaged.
+    fault_seed:
+        Seed of the fault plane's RNG substream; ``None`` (default)
+        reuses ``loss_seed``.
+
+    When ``jitter``, ``churn_schedule`` or ``retx_timeout`` is engaged,
+    the plane runs in FULL mode: loss applies to every delivery
+    (``loss_rate = 1.0`` becomes legal), the Table II census sanitizer
+    check is skipped (floods are no longer conservation-exact), and a
+    session that quiesces with unserved nodes commits them to the
+    producer and reports them in the outcome's
+    :class:`~repro.distributed.faults.FaultReport` instead of raising.
+    With every fault knob at its default the plane is a provable no-op:
+    placements and :class:`MessageStats` are byte-identical to a
+    fault-free build (see ``docs/FAULTS.md``).
     """
 
     hop_limit: int = 2
@@ -127,16 +160,28 @@ class DistributedConfig:
     span_policy: str = "all"
     loss_rate: float = 0.0
     loss_seed: int = 0
+    jitter: float = 0.0
+    churn_schedule: tuple = ()
+    retx_timeout: float = 0.0
+    max_retries: int = 3
+    fault_seed: Optional[int] = None
 
 
 @dataclass
 class DistributedOutcome:
-    """Placement plus protocol-level observables."""
+    """Placement plus protocol-level observables.
+
+    ``faults`` is ``None`` when every chunk session ran the fault plane
+    in passthrough mode (no fault knob engaged); otherwise it aggregates
+    the drop / retransmission / churn accounting and any nodes that
+    quiesced unserved (committed to the producer fallback).
+    """
 
     placement: CachePlacement
     stats: MessageStats
     ticks_per_chunk: List[int] = field(default_factory=list)
     sim_events: int = 0
+    faults: Optional[FaultReport] = None
 
 
 class ChunkSession:
@@ -175,18 +220,35 @@ class ChunkSession:
         self._promotion_queue: List[Node] = []
         self._promotion_pending: Set[Node] = set()
         self._arbiter_scheduled = False
-        if not 0.0 <= config.loss_rate < 1.0:
-            raise SimulationError("loss_rate must be in [0, 1)")
-        self._rng = (
-            random.Random(config.loss_seed * 1_000_003 + chunk)
-            if config.loss_rate > 0
-            else None
-        )
+        #: Nodes still unserved when a faulty session quiesced (sorted by
+        #: the deterministic node order; empty outside FULL fault mode).
+        self.unserved: List[Node] = []
         # Hop distances from every node (for scoped delivery + latency).
         self._hops: Dict[Node, Dict[Node, int]] = {}
         # Resolved once per session: the per-message trace guard must be
         # a plain attribute read, not a context-var lookup per radio send.
         self._trace = get_tracer()
+        # Every delivery funnels through the fault plane; with all fault
+        # knobs at their defaults it resolves to passthrough mode, which
+        # is byte-identical to scheduling on the simulator directly.
+        self.faults = FaultPlane(
+            sim=self.sim,
+            stats=stats,
+            trace=self._trace,
+            chunk=chunk,
+            hop_latency=config.hop_latency,
+            loss_rate=config.loss_rate,
+            jitter=config.jitter,
+            retx_timeout=config.retx_timeout,
+            max_retries=config.max_retries,
+            churn=config.churn_schedule,
+            seed=(
+                config.fault_seed
+                if config.fault_seed is not None
+                else config.loss_seed
+            ),
+        )
+        self.faults.start(set(self.nodes), self.producer)
 
     # ------------------------------------------------------------------
     # Node-facing services
@@ -230,6 +292,8 @@ class ChunkSession:
         while self._promotion_queue:
             node = self._promotion_queue.pop(0)
             self._promotion_pending.discard(node)
+            if not self.faults.is_online(node):
+                continue  # churned out between request and arbitration
             proto = self.nodes[node]
             if proto.promotion_valid():
                 proto.promote()
@@ -238,59 +302,42 @@ class ChunkSession:
             self._arbiter_scheduled = True
             self.sim.schedule(self.config.promotion_latency, self._arbitrate)
 
-    def _trace_msg(self, msg_type: str, src: Node, dst: Node, hops: int) -> None:
-        """One ``msg.<TYPE>`` instant per delivered Table II message.
-
-        Callers must guard with ``self._trace.enabled`` so the default
-        NullTracer costs one attribute read per radio send.
-        """
-        self._trace.instant(
-            f"msg.{msg_type}",
-            track="protocol",
-            args={
-                "src": str(src),
-                "dst": str(dst),
-                "hops": hops,
-                "chunk": self.chunk,
-                "sim_time": self.sim.now,
-            },
-        )
-
     # --- unicasts (k-hop scoped) --------------------------------------
-    def _deliver(self, msg_type: str, src: Node, dst: Node, handler) -> None:
+    def _deliver(
+        self, msg_type: str, src: Node, dst: Node, handler, seq: int
+    ) -> None:
         hops = self._hop(src, dst)
         if msg_type != NPI and msg_type != BADMIN and hops > self.config.hop_limit:
             return  # out of control-message range
-        if self._rng is not None and self._rng.random() < self.config.loss_rate:
-            return  # radio loss (failure injection)
-        self.stats.record(msg_type, hops)
-        if self._trace.enabled:
-            self._trace_msg(msg_type, src, dst, hops)
-        self.sim.schedule(hops * self.config.hop_latency, handler)
+        self.faults.unicast(msg_type, src, dst, hops, handler, seq)
 
     def send_tight(self, src: Node, dst: Node, contention: float, bid: float) -> None:
+        seq = self.faults.next_seq()
         msg = TightMessage(
-            sender=src, chunk=self.chunk, target=dst,
+            sender=src, chunk=self.chunk, seq=seq, target=dst,
             contention=contention, bid=bid,
         )
-        self._deliver(TIGHT, src, dst, lambda: self.nodes[dst].on_tight(msg))
+        self._deliver(TIGHT, src, dst, lambda: self.nodes[dst].on_tight(msg), seq)
 
     def send_span(
         self, src: Node, dst: Node, contention: float, resource_bid: float
     ) -> None:
+        seq = self.faults.next_seq()
         msg = SpanMessage(
-            sender=src, chunk=self.chunk, target=dst,
+            sender=src, chunk=self.chunk, seq=seq, target=dst,
             contention=contention, resource_bid=resource_bid,
         )
-        self._deliver(SPAN, src, dst, lambda: self.nodes[dst].on_span(msg))
+        self._deliver(SPAN, src, dst, lambda: self.nodes[dst].on_span(msg), seq)
 
     def send_freeze(self, src: Node, dst: Node, server: Node) -> None:
-        msg = FreezeMessage(sender=src, chunk=self.chunk, server=server)
-        self._deliver(FREEZE, src, dst, lambda: self.nodes[dst].on_freeze(msg))
+        seq = self.faults.next_seq()
+        msg = FreezeMessage(sender=src, chunk=self.chunk, seq=seq, server=server)
+        self._deliver(FREEZE, src, dst, lambda: self.nodes[dst].on_freeze(msg), seq)
 
     def send_nadmin(self, src: Node, dst: Node) -> None:
-        msg = NAdminMessage(sender=src, chunk=self.chunk)
-        self._deliver(NADMIN, src, dst, lambda: self.nodes[dst].on_nadmin(msg))
+        seq = self.faults.next_seq()
+        msg = NAdminMessage(sender=src, chunk=self.chunk, seq=seq)
+        self._deliver(NADMIN, src, dst, lambda: self.nodes[dst].on_nadmin(msg), seq)
 
     # --- floods ---------------------------------------------------------
     def broadcast_badmin(self, admin: Node) -> None:
@@ -300,36 +347,36 @@ class ChunkSession:
         for node in self.nodes:
             if node == admin:
                 continue
+            seq = self.faults.next_seq()
             msg = BAdminMessage(
-                sender=admin, chunk=self.chunk,
+                sender=admin, chunk=self.chunk, seq=seq,
                 cost_from_admin=costs[node], hops=hops[node],
             )
-            self.stats.record(BADMIN, hops[node])
-            if self._trace.enabled:
-                self._trace_msg(BADMIN, admin, node, hops[node])
-            self.sim.schedule(
-                hops[node] * self.config.hop_latency,
+            self.faults.flood_leg(
+                BADMIN, admin, node, hops[node],
                 (lambda m=msg, n=node: self.nodes[n].on_badmin(m)),
+                seq,
             )
 
     def _flood_npi(self) -> None:
         costs = self.state.costs.all_contention_costs(self.producer)
         hops = self._hops_from(self.producer)
         for node in self.nodes:
+            seq = self.faults.next_seq()
             msg = NpiMessage(
-                sender=self.producer, chunk=self.chunk,
+                sender=self.producer, chunk=self.chunk, seq=seq,
                 cost_from_producer=costs[node], hops=hops[node],
             )
-            self.stats.record(NPI, hops[node])
-            if self._trace.enabled:
-                self._trace_msg(NPI, self.producer, node, hops[node])
-            self.sim.schedule(
-                hops[node] * self.config.hop_latency,
+            self.faults.flood_leg(
+                NPI, self.producer, node, hops[node],
                 (lambda m=msg, n=node: self.nodes[n].on_npi(m)),
+                seq,
             )
 
     def _flood_cc(self, origin: Node) -> None:
         """CC flood: k-hop neighbors learn (origin, Con_origin→them)."""
+        if not self.faults.is_online(origin):
+            return  # a churned-out candidate cannot announce itself
         costs = self.state.costs.all_contention_costs(origin)
         hops = self._hops_from(origin)
         for node, h in hops.items():
@@ -337,16 +384,15 @@ class ChunkSession:
                 continue
             if h > self.config.hop_limit:
                 continue
+            seq = self.faults.next_seq()
             msg = CcMessage(
-                sender=origin, chunk=self.chunk, origin=origin,
+                sender=origin, chunk=self.chunk, seq=seq, origin=origin,
                 accumulated_cost=costs[node], hops=h,
             )
-            self.stats.record(CC, h)
-            if self._trace.enabled:
-                self._trace_msg(CC, origin, node, h)
-            self.sim.schedule(
-                h * self.config.hop_latency,
+            self.faults.flood_leg(
+                CC, origin, node, h,
                 (lambda m=msg, n=node: self.nodes[n].on_cc(m)),
+                seq,
             )
 
     # ------------------------------------------------------------------
@@ -376,9 +422,18 @@ class ChunkSession:
             self.sim.schedule(self.config.tick_interval, self._tick)
             self.sim.run()
             if len(self._done) < len(self.nodes):
-                raise SimulationError(
-                    f"chunk {self.chunk}: protocol ended with "
-                    f"{len(self.nodes) - len(self._done)} unserved nodes"
+                if not self.faults.faults_active:
+                    raise SimulationError(
+                        f"chunk {self.chunk}: protocol ended with "
+                        f"{len(self.nodes) - len(self._done)} unserved nodes"
+                    )
+                # Under faults an unreachable node (permanently churned
+                # out, or isolated by exhausted retry budgets) is a
+                # legitimate outcome: commit it against the producer — the
+                # physical fallback server — and report it.
+                self.unserved = sorted(
+                    (n for n in self.nodes if n not in self._done),
+                    key=self._order.__getitem__,
                 )
             if self._trace.enabled:
                 span.add(
@@ -386,7 +441,13 @@ class ChunkSession:
                     ticks=self.ticks,
                     admins=sorted(str(node) for node in self.admins),
                     nodes=len(self.nodes),
+                    unserved=len(self.unserved),
                 )
+        # The Table II census invariants (every node hears NPI exactly
+        # once, BADMIN = admins × (N-1), ...) assume reliable floods; in
+        # FULL fault mode floods are lossy, so the cross-check is skipped.
+        if self.faults.faults_active:
+            census_before = None
         if sanitize and census_before is not None:
             from repro.distributed.messages import ALL_TYPES
 
@@ -414,6 +475,29 @@ class ChunkSession:
                 obs.count(f"protocol.msgs.{msg_type}", delta)
                 session_total += delta
         obs.count("protocol.msgs.total", session_total)
+        # Fault accounting (all zero — and unrecorded — in passthrough).
+        if self.faults.mode != PASSTHROUGH:
+            fstats = self.faults.fstats
+            if fstats.total_drops():
+                obs.count("protocol.drops", fstats.total_drops())
+            if fstats.offline_drops:
+                obs.count("protocol.drops.offline", fstats.offline_drops)
+            if fstats.total_retx():
+                obs.count("protocol.retx.attempts", fstats.total_retx())
+            if fstats.acks:
+                obs.count("protocol.retx.acks", fstats.acks)
+            if fstats.ack_drops:
+                obs.count("protocol.retx.ack_drops", fstats.ack_drops)
+            if fstats.total_exhausted():
+                obs.count("protocol.retx.exhausted", fstats.total_exhausted())
+            if fstats.total_duplicates():
+                obs.count("protocol.dups", fstats.total_duplicates())
+            if fstats.leaves:
+                obs.count("faults.churn.leaves", fstats.leaves)
+            if fstats.joins:
+                obs.count("faults.churn.joins", fstats.joins)
+            if self.unserved:
+                obs.count("protocol.unserved", len(self.unserved))
         # Per-node queue depth: how many tight clients each candidate had
         # to track (the candidate-side memory the protocol costs a node).
         for proto in self.nodes.values():
@@ -430,9 +514,14 @@ class ChunkSession:
         self.ticks += 1
         if self.ticks > self.config.max_ticks:
             raise SimulationError("distributed protocol exceeded max_ticks")
-        for node in self.nodes.values():
+        faulty = self.faults.faults_active
+        for node_id, node in self.nodes.items():
+            if faulty and not self.faults.is_online(node_id):
+                continue  # churned-out nodes pause their state machine
             node.client_tick(self.config.step)
-        for node in self.nodes.values():
+        for node_id, node in self.nodes.items():
+            if faulty and not self.faults.is_online(node_id):
+                continue
             node.candidate_tick(self.config.step)
         if self._trace.enabled:
             self._trace.instant(
@@ -448,7 +537,22 @@ class ChunkSession:
                 },
             )
         if len(self._done) < len(self.nodes):
-            self.sim.schedule(self.config.tick_interval, self._tick)
+            if not faulty:
+                self.sim.schedule(self.config.tick_interval, self._tick)
+            elif self.sim.pending > 0 or self._progress_possible():
+                # Keep the clock alive while deliveries / acks / retx
+                # timers / churn events are in flight or some online node
+                # can still make headway.  When both run dry the session
+                # is stalled — stop ticking so the simulator quiesces and
+                # ``run()`` reports the partial placement.
+                self.sim.schedule(self.config.tick_interval, self._tick)
+
+    def _progress_possible(self) -> bool:
+        """Can any online, still-bidding or promotable node make progress?"""
+        return any(
+            self.faults.is_online(node_id) and proto.progress_possible()
+            for node_id, proto in self.nodes.items()
+        )
 
     # ------------------------------------------------------------------
     def _hops_from(self, source: Node) -> Dict[Node, int]:
@@ -474,6 +578,7 @@ def solve_distributed(
     placements: List[ChunkPlacement] = []
     ticks: List[int] = []
     events = 0
+    fault_report: Optional[FaultReport] = None
     obs = get_recorder()
     with obs.timer("solve_distributed"):
         for chunk in problem.chunks:
@@ -482,6 +587,12 @@ def solve_distributed(
                 placements.append(session.run())
             ticks.append(session.ticks)
             events += session.sim.events_processed
+            if session.faults.mode != PASSTHROUGH:
+                if fault_report is None:
+                    fault_report = FaultReport()
+                fault_report.stats.merge(session.faults.fstats)
+                if session.unserved:
+                    fault_report.unserved[chunk] = list(session.unserved)
     # Mirror the Table II message census into the recorder (totals over
     # all chunks; recorded once at the end so the radio path stays cheap).
     for msg_type, count in stats.messages.items():
@@ -493,5 +604,9 @@ def solve_distributed(
         problem=problem, chunks=placements, algorithm=ALGORITHM_NAME
     )
     return DistributedOutcome(
-        placement=placement, stats=stats, ticks_per_chunk=ticks, sim_events=events
+        placement=placement,
+        stats=stats,
+        ticks_per_chunk=ticks,
+        sim_events=events,
+        faults=fault_report,
     )

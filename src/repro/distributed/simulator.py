@@ -29,19 +29,23 @@ class _Event:
     seq: int
     handler: Handler = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet."""
-        self._event.cancelled = True
+        if not self._event.cancelled and not self._event.fired:
+            self._event.cancelled = True
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -62,12 +66,18 @@ class Simulator:
     [1.0, 2.0]
     """
 
+    #: Absolute times within this relative tolerance of "now" are clamped
+    #: to "now" by :meth:`schedule_at` — float-rounding residue from
+    #: chained time arithmetic, not a genuine attempt to rewrite history.
+    PAST_TOLERANCE = 1e-9
+
     def __init__(self) -> None:
         self._queue: List[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
         self._max_queue_depth = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -82,11 +92,11 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled
 
     @property
     def max_queue_depth(self) -> int:
-        """High-water mark of the event queue (cancelled events included)."""
+        """High-water mark of live (non-cancelled) queued events."""
         return self._max_queue_depth
 
     def schedule(self, delay: float, handler: Handler) -> EventHandle:
@@ -95,22 +105,49 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = _Event(self._now + delay, next(self._seq), handler)
         heapq.heappush(self._queue, event)
-        if len(self._queue) > self._max_queue_depth:
-            self._max_queue_depth = len(self._queue)
-        return EventHandle(event)
+        live = len(self._queue) - self._cancelled
+        if live > self._max_queue_depth:
+            self._max_queue_depth = live
+        return EventHandle(event, self)
 
     def schedule_at(self, time: float, handler: Handler) -> EventHandle:
-        """Schedule ``handler`` at an absolute simulation time."""
-        return self.schedule(time - self._now, handler)
+        """Schedule ``handler`` at an absolute simulation time.
+
+        Tiny negative deltas — the rounding residue of accumulating
+        ``now`` through repeated float additions — are clamped to "fire
+        immediately" instead of raising :class:`SimulationError`.
+        """
+        delay = time - self._now
+        if delay < 0 and -delay <= self.PAST_TOLERANCE * max(
+            1.0, abs(time), abs(self._now)
+        ):
+            delay = 0.0
+        return self.schedule(delay, handler)
+
+    def _note_cancelled(self) -> None:
+        """An :class:`EventHandle` cancelled a still-queued event.
+
+        Cancelled entries stay in the heap (removing from the middle of a
+        heap is O(n)); once they outnumber the live events the queue is
+        compacted in one O(n) pass, so mass-cancelled retransmission
+        timers can no longer grow ``_queue`` without bound.
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
+            event.fired = True
             event.handler()
             return True
         return False
@@ -156,4 +193,5 @@ class Simulator:
     def _peek(self) -> Optional[_Event]:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled -= 1
         return self._queue[0] if self._queue else None

@@ -6,6 +6,7 @@ Each module exposes ``run(..., fast: bool = False) -> ExperimentResult``;
 
 from repro.experiments import (
     approximation_ratio,
+    dist_faults,
     latency_model,
     online_churn,
     fig1_chunk_distribution,
@@ -47,6 +48,7 @@ REGISTRY = {
     "fig9": fig9_per_chunk.run,
     "table2": table2_messages.run,
     "approx_ratio": approximation_ratio.run,
+    "dist_faults": dist_faults.run,
     "online_churn": online_churn.run,
     "latency_model": latency_model.run,
     "serve_fairness": serve_fairness.run,

@@ -73,6 +73,10 @@ class BenchScenario:
     capacity: int = 5
     serve_requests: Optional[int] = None
     serve_only: bool = False
+    #: Fault-injection gate: run only the distributed solver, through the
+    #: FaultPlane (loss + jitter + retransmission + one churn episode),
+    #: reported as the ``DistFaults`` algorithm entry.  No serve section.
+    faults_only: bool = False
 
     def build(self):
         problem, _ = random_problem(
@@ -106,6 +110,12 @@ DEFAULT_SUITE = (
     # regressions that the per-node budgets are too small to see.
     BenchScenario("serve-scale", 30, serve_requests=200_000,
                   serve_only=True),
+    # Fault-injection gate: the distributed protocol through the fault
+    # plane (20% loss, jitter, acked retransmission, one churn episode).
+    # Counters are deterministic, so --compare pins the exact drop /
+    # retransmission / duplicate counts as well as the wall-clock.
+    # Sized so wall-clock noise stays under compare's 0.01 s floor.
+    BenchScenario("dist-faults", 30, num_chunks=2, faults_only=True),
 )
 
 SUITE_BY_NAME = {scenario.name: scenario for scenario in DEFAULT_SUITE}
@@ -197,6 +207,73 @@ def bench_serve(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
     }
 
 
+#: Fault shape of the ``dist-faults`` scenario: 20% per-delivery loss,
+#: latency jitter, acknowledged retransmission with a 3-retry budget, and
+#: one churn episode (a node leaves mid-ascent and returns).
+FAULT_BENCH_LOSS = 0.2
+FAULT_BENCH_JITTER = 0.005
+FAULT_BENCH_RETX_TIMEOUT = 0.2
+FAULT_BENCH_MAX_RETRIES = 3
+
+
+def bench_faults(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
+    """Benchmark the distributed solver under the fixed fault shape.
+
+    Runs ``solve_distributed`` with the fault plane engaged; shaped like
+    an algorithm entry (name ``DistFaults``) so ``--compare`` gates the
+    wall-clock and the deterministic fault counters (``protocol.drops``,
+    ``protocol.retx.*``, ...) with the stock machinery.  The scenario
+    must converge — an unserved node here means the retransmission layer
+    regressed — which is asserted every run, not just under compare.
+    """
+    from repro.distributed import DistributedConfig, solve_distributed
+    from repro.errors import SimulationError
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    nodes = sorted(
+        (n for n in problem.graph.nodes() if n != problem.producer), key=str
+    )
+    leaver = nodes[len(nodes) // 2]
+    config = DistributedConfig(
+        loss_rate=FAULT_BENCH_LOSS,
+        jitter=FAULT_BENCH_JITTER,
+        retx_timeout=FAULT_BENCH_RETX_TIMEOUT,
+        max_retries=FAULT_BENCH_MAX_RETRIES,
+        churn_schedule=((5.0, leaver, "leave"), (12.0, leaver, "join")),
+        fault_seed=scenario.seed,
+    )
+    best_wall: Optional[float] = None
+    best_recorder: Optional[Recorder] = None
+    best_outcome = None
+    for _ in range(repeats):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            start = time.perf_counter()
+            outcome = solve_distributed(problem, config)
+            wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best_recorder = recorder
+            best_outcome = outcome
+    best_outcome.placement.validate()
+    faults = best_outcome.faults
+    if faults is None or not faults.converged:
+        unserved = 0 if faults is None else faults.total_unserved
+        raise SimulationError(
+            f"dist-faults bench did not converge: {unserved} unserved "
+            "node-chunk assignments (retransmission regression?)"
+        )
+    dump = best_recorder.dump()
+    return {
+        "wall_seconds": best_wall,
+        "placement": asdict(summarize("Dist", best_outcome.placement)),
+        "counters": dump["counters"],
+        "timers": dump["timers"],
+        "gauges": dump["gauges"],
+    }
+
+
 def run_bench(
     scenarios: Sequence[BenchScenario] = DEFAULT_SUITE,
     algorithms: Iterable[str] = DEFAULT_BENCH_ALGORITHMS,
@@ -207,8 +284,18 @@ def run_bench(
     results: List[dict] = []
     for scenario in scenarios:
         problem = scenario.build()
-        results.append(
-            {
+        if scenario.faults_only:
+            entry = {
+                "name": scenario.name,
+                "network": scenario.network_info(),
+                "algorithms": {
+                    "DistFaults": bench_faults(
+                        problem, scenario, repeats=repeats
+                    )
+                },
+            }
+        else:
+            entry = {
                 "name": scenario.name,
                 "network": scenario.network_info(),
                 "algorithms": (
@@ -221,7 +308,7 @@ def run_bench(
                 ),
                 "serve": bench_serve(problem, scenario, repeats=repeats),
             }
-        )
+        results.append(entry)
     return {
         "schema": BENCH_SCHEMA,
         "version": _repro_version(),

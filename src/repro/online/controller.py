@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set
 
-from repro.errors import ProblemError
+from repro.errors import InvariantError, ProblemError
+from repro.analysis import contracts
 from repro.core.approximation import ApproximationConfig
 from repro.core.commit import commit_chunk
 from repro.core.confl import build_confl_instance
@@ -150,6 +151,7 @@ class OnlineFairCache:
         Returns the number of evictions performed.
         """
         replicas = self._replica_counts()
+        sanitize = contracts.sanitize_enabled()
         freed = 0
         for node in self.problem.clients:
             if self.state.storage.available(node) > 0:
@@ -161,7 +163,20 @@ class OnlineFairCache:
                 self.state.evict(node, victim)
                 self.trace.evictions += 1
                 freed += 1
-                replicas[victim] = replicas.get(victim, 1) - 1
+                # The victim came off ``node``'s shelf, so it must have a
+                # positive replica count; defaulting a missing entry (the
+                # old ``.get(victim, 1)``) would mask a policy returning
+                # a chunk the node never held and let counts go negative
+                # when the same victim is evicted from several full nodes.
+                replicas[victim] = replicas.get(victim, 0) - 1
+                if sanitize and replicas[victim] < 0:
+                    raise InvariantError(
+                        "online.replicas",
+                        f"replica count of chunk {victim} went negative "
+                        f"after eviction from node {node!r} — the "
+                        "replacement policy returned a chunk the node "
+                        "did not hold",
+                    )
         return freed
 
     def _replica_counts(self) -> Dict[int, int]:

@@ -182,7 +182,7 @@ class TestBench:
         data = json.loads(out.read_text())
         assert data["repeats"] == 1
         assert [s["name"] for s in data["scenarios"]] == [
-            "small", "serve-scale",
+            "small", "serve-scale", "dist-faults",
         ]
         counters = data["scenarios"][0]["algorithms"]["Appx"]["counters"]
         assert counters.get("costs.full_rebuilds", 0) == 0
@@ -193,6 +193,11 @@ class TestBench:
         assert scale["algorithms"] == {}
         assert scale["serve"]["requests"] == 200_000
         assert scale["serve"]["counters"]["serve.batch.requests"] == 200_000
+        # dist-faults gates the fault plane only: one DistFaults entry,
+        # no serve section.
+        faults = data["scenarios"][2]
+        assert set(faults["algorithms"]) == {"DistFaults"}
+        assert faults.get("serve") is None
         assert "full-rebuild budget OK" in capsys.readouterr().out
 
     def test_full_rebuild_budget_overrun_fails(self, tmp_path, capsys,

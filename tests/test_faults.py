@@ -1,0 +1,325 @@
+"""Tests for the fault-injection layer (``repro.distributed.faults``).
+
+Covers the three fault-plane modes, the no-op golden contract (with all
+fault knobs at their defaults the protocol reproduces a pre-fault-plane
+snapshot byte for byte), determinism under faults, churn semantics, and
+the 100%-loss / retry-budget termination path.  This module doubles as
+the CI fault-injection smoke job.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.distributed import (
+    ChurnEvent,
+    DistributedConfig,
+    FaultStats,
+    solve_distributed,
+)
+from repro.distributed.faults import (
+    FULL,
+    LEGACY_LOSS,
+    PASSTHROUGH,
+    normalize_churn,
+)
+from repro.errors import SimulationError
+from repro.workloads import grid_problem, random_problem
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_noop_dist.json"
+
+
+def _snapshot(problem, config=None):
+    outcome = solve_distributed(problem, config)
+    return {
+        "caches": [
+            sorted(map(str, chunk.caches)) for chunk in outcome.placement.chunks
+        ],
+        "messages": outcome.stats.messages,
+        "transmissions": outcome.stats.transmissions,
+        "ticks": outcome.ticks_per_chunk,
+        "sim_events": outcome.sim_events,
+    }
+
+
+def _canon(snapshot) -> str:
+    return json.dumps(snapshot, sort_keys=True)
+
+
+class TestNoOpContract:
+    """With every fault knob at its default, placements and MessageStats
+    must be byte-identical to the snapshot taken before the fault plane
+    existed (ISSUE 8 acceptance criterion)."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    def test_grid_byte_identical(self, golden):
+        assert _canon(_snapshot(grid_problem(6))) == _canon(golden["grid6"])
+
+    def test_random_byte_identical(self, golden):
+        problem, _ = random_problem(40, seed=7)
+        assert _canon(_snapshot(problem)) == _canon(golden["random40_seed7"])
+
+    def test_random_multichunk_byte_identical(self, golden):
+        problem, _ = random_problem(25, seed=11, num_chunks=3)
+        assert _canon(_snapshot(problem)) == _canon(golden["random25_seed11"])
+
+    def test_legacy_loss_stream_byte_identical(self, golden):
+        """loss_rate alone replays the historical RNG stream exactly."""
+        snapshot = _snapshot(
+            grid_problem(6), DistributedConfig(loss_rate=0.2, loss_seed=7)
+        )
+        assert _canon(snapshot) == _canon(golden["grid6_loss"])
+
+    def test_passthrough_reports_no_faults(self):
+        outcome = solve_distributed(grid_problem(4))
+        assert outcome.faults is None
+
+
+class TestModeResolution:
+    def _plane(self, **kwargs):
+        from repro.distributed import FaultPlane, MessageStats, Simulator
+        from repro.obs import get_tracer
+
+        defaults = dict(
+            sim=Simulator(), stats=MessageStats(), trace=get_tracer(),
+            chunk=0, hop_latency=0.001,
+        )
+        defaults.update(kwargs)
+        return FaultPlane(**defaults)
+
+    def test_default_is_passthrough(self):
+        assert self._plane().mode == PASSTHROUGH
+
+    def test_loss_only_is_legacy(self):
+        assert self._plane(loss_rate=0.3).mode == LEGACY_LOSS
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jitter": 0.01},
+            {"retx_timeout": 0.5},
+            {"churn": ((1.0, "n", "leave"),)},
+        ],
+    )
+    def test_any_full_knob_engages_full_mode(self, kwargs):
+        assert self._plane(**kwargs).mode == FULL
+
+    def test_legacy_rejects_total_loss(self):
+        with pytest.raises(SimulationError):
+            self._plane(loss_rate=1.0)
+
+    def test_full_mode_allows_total_loss(self):
+        assert self._plane(loss_rate=1.0, retx_timeout=0.5).mode == FULL
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": -0.1},
+            {"jitter": -1.0},
+            {"retx_timeout": -1.0},
+            {"retx_timeout": 0.5, "max_retries": -1},
+            {"loss_rate": 1.5, "jitter": 0.1},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            self._plane(**kwargs)
+
+
+class TestChurn:
+    def test_tuple_normalization(self):
+        events = normalize_churn([(1.0, 5, "leave"), ChurnEvent(2.0, 5, "join")])
+        assert [e.kind for e in events] == ["leave", "join"]
+
+    @pytest.mark.parametrize(
+        "entry", [(1.0, 5, "reboot"), (-1.0, 5, "leave"), (1.0, 5), "leave"]
+    )
+    def test_invalid_entries_rejected(self, entry):
+        with pytest.raises(SimulationError):
+            normalize_churn([entry])
+
+    def test_producer_may_never_churn(self):
+        problem = grid_problem(4)
+        config = DistributedConfig(
+            churn_schedule=((1.0, problem.producer, "leave"),)
+        )
+        with pytest.raises(SimulationError, match="producer"):
+            solve_distributed(problem, config)
+
+    def test_unknown_node_rejected(self):
+        config = DistributedConfig(churn_schedule=((1.0, "nope", "leave"),))
+        with pytest.raises(SimulationError, match="unknown node"):
+            solve_distributed(grid_problem(4), config)
+
+    def test_permanent_leaver_falls_back_to_producer(self):
+        problem = grid_problem(4, num_chunks=1)
+        leaver = 7
+        config = DistributedConfig(churn_schedule=((2.0, leaver, "leave"),))
+        outcome = solve_distributed(problem, config)
+        outcome.placement.validate()
+        report = outcome.faults
+        assert report is not None
+        assert report.stats.leaves == 1
+        assert not report.converged
+        assert leaver in report.unserved[0]
+        # The unserved node is still committed — against the producer.
+        assignment = outcome.placement.chunks[0].assignment
+        assert assignment[leaver] == problem.producer
+
+    def test_leave_and_rejoin_converges(self):
+        problem = grid_problem(4, num_chunks=1)
+        config = DistributedConfig(
+            churn_schedule=((2.0, 7, "leave"), (6.0, 7, "join"))
+        )
+        outcome = solve_distributed(problem, config)
+        report = outcome.faults
+        assert report.stats.leaves == 1
+        assert report.stats.joins == 1
+        assert report.converged
+
+
+class TestDeterminism:
+    """Same seed + same (loss, jitter, churn, retx) config ⇒ byte-identical
+    MessageStats and placement JSON."""
+
+    CONFIG = DistributedConfig(
+        loss_rate=0.2,
+        jitter=0.01,
+        retx_timeout=0.5,
+        max_retries=3,
+        churn_schedule=((2.0, 7, "leave"), (6.0, 7, "join")),
+        fault_seed=13,
+    )
+
+    def test_repeat_runs_are_byte_identical(self):
+        problem = grid_problem(5, num_chunks=2)
+        first = _snapshot(problem, self.CONFIG)
+        second = _snapshot(problem, self.CONFIG)
+        assert _canon(first) == _canon(second)
+
+    def test_fault_stats_are_deterministic(self):
+        problem = grid_problem(5, num_chunks=2)
+        a = solve_distributed(problem, self.CONFIG).faults.stats
+        b = solve_distributed(problem, self.CONFIG).faults.stats
+        assert a == b
+
+    def test_different_seed_changes_the_run(self):
+        problem = grid_problem(5, num_chunks=2)
+        base = solve_distributed(problem, self.CONFIG).faults.stats
+        other_config = DistributedConfig(
+            loss_rate=self.CONFIG.loss_rate,
+            jitter=self.CONFIG.jitter,
+            retx_timeout=self.CONFIG.retx_timeout,
+            max_retries=self.CONFIG.max_retries,
+            churn_schedule=self.CONFIG.churn_schedule,
+            fault_seed=14,
+        )
+        other = solve_distributed(problem, other_config).faults.stats
+        assert base != other
+
+
+class TestTotalLoss:
+    """100% loss must terminate through the retry budget with a partial
+    placement report — never hang (ISSUE 8 edge case)."""
+
+    def test_terminates_with_partial_placement(self):
+        problem = grid_problem(4, num_chunks=2)
+        config = DistributedConfig(
+            loss_rate=1.0, retx_timeout=0.5, max_retries=2
+        )
+        outcome = solve_distributed(problem, config)
+        outcome.placement.validate()
+        report = outcome.faults
+        assert not report.converged
+        # Nothing was ever delivered: every non-producer node of every
+        # chunk is unserved and assigned to the producer.
+        nodes = problem.graph.num_nodes - 1
+        assert report.total_unserved == nodes * 2
+        assert outcome.stats.total_messages() == 0
+        for chunk in outcome.placement.chunks:
+            assert not chunk.caches
+            assert all(
+                server == problem.producer
+                for server in chunk.assignment.values()
+            )
+        # Retry budgets were actually exercised and exhausted.
+        assert report.stats.total_exhausted() > 0
+        assert report.stats.total_drops() > 0
+
+
+class TestRetransmission:
+    def test_retx_only_matches_fault_free_run(self):
+        """With zero loss, no jitter and no churn, the ack/retransmission
+        machinery must not change the placement or the Table II census —
+        every message arrives on the first attempt and duplicates never
+        happen."""
+        problem = grid_problem(5, num_chunks=2)
+        base = _snapshot(problem)
+        retx = solve_distributed(
+            problem, DistributedConfig(retx_timeout=0.5)
+        )
+        assert [
+            sorted(map(str, c.caches)) for c in retx.placement.chunks
+        ] == base["caches"]
+        assert retx.stats.messages == base["messages"]
+        stats = retx.faults.stats
+        assert stats.total_retx() == 0
+        assert stats.total_duplicates() == 0
+        assert stats.acks == retx.stats.total_messages()
+
+    def test_loss_with_retx_converges_and_retransmits(self):
+        """The CI smoke configuration: 20% loss, one churn episode, acked
+        retransmission — must converge on a small grid."""
+        problem = grid_problem(5, num_chunks=2)
+        config = DistributedConfig(
+            loss_rate=0.2,
+            retx_timeout=0.5,
+            max_retries=3,
+            churn_schedule=((3.0, 7, "leave"), (8.0, 7, "join")),
+            fault_seed=2017,
+        )
+        outcome = solve_distributed(problem, config)
+        outcome.placement.validate()
+        report = outcome.faults
+        assert report.converged
+        assert report.stats.total_drops() > 0
+        assert report.stats.total_retx() > 0
+        assert report.stats.acks > 0
+
+    def test_lost_acks_cause_suppressed_duplicates(self):
+        problem = grid_problem(5, num_chunks=2)
+        config = DistributedConfig(
+            loss_rate=0.3, retx_timeout=0.5, max_retries=3, fault_seed=1
+        )
+        outcome = solve_distributed(problem, config)
+        stats = outcome.faults.stats
+        # A lost ack forces a retransmission of an already-delivered
+        # message; the receiver's seen-set suppresses it.
+        assert stats.ack_drops > 0
+        assert stats.total_duplicates() > 0
+
+
+class TestFaultStats:
+    def test_merge_accumulates(self):
+        a = FaultStats(drops={"TIGHT": 2}, acks=1, leaves=1)
+        b = FaultStats(drops={"TIGHT": 3, "SPAN": 1}, acks=4, joins=2)
+        a.merge(b)
+        assert a.drops == {"TIGHT": 5, "SPAN": 1}
+        assert a.acks == 5
+        assert a.leaves == 1
+        assert a.joins == 2
+
+    def test_legacy_loss_outcome_reports_drops(self):
+        outcome = solve_distributed(
+            grid_problem(5), DistributedConfig(loss_rate=0.3, loss_seed=3)
+        )
+        report = outcome.faults
+        assert report is not None
+        assert report.converged  # legacy loss cannot leave nodes unserved
+        assert report.stats.total_drops() > 0
+        # Legacy mode never drops floods.
+        assert set(report.stats.drops) <= {"TIGHT", "SPAN", "FREEZE", "NADMIN"}

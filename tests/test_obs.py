@@ -315,7 +315,7 @@ class TestBench:
 
     def test_default_suite_has_the_acceptance_scenarios(self):
         assert [s.name for s in DEFAULT_SUITE] == [
-            "small", "medium", "large", "serve-scale",
+            "small", "medium", "large", "serve-scale", "dist-faults",
         ]
         assert SUITE_BY_NAME["large"].num_nodes == 100
         scale = SUITE_BY_NAME["serve-scale"]

@@ -199,3 +199,75 @@ class TestReplacement:
         # storage never exceeded anywhere
         state = trace  # placements committed through the state machinery
         assert trace.peak_copies <= 15 * 2  # 15 clients x capacity 2
+
+
+class TestMakeRoomBookkeeping:
+    """Regression: ``_make_room`` used ``replicas.get(victim, 1) - 1``,
+    which silently invented a count of 1 for a victim that was never in
+    the replica census — masking a buggy policy and allowing negative
+    counts."""
+
+    def _aggressive_config(self):
+        from repro.core import ApproximationConfig, DualAscentConfig
+
+        return ApproximationConfig(dual=DualAscentConfig(span_threshold=1))
+
+    def _saturated_cache(self, policy):
+        from repro.online.events import publish
+
+        problem = grid_problem(3, num_chunks=0, capacity=1)
+        cache = OnlineFairCache(
+            problem, config=self._aggressive_config(), policy=policy
+        )
+        chunk = 0
+        while any(cache.state.can_cache(n) for n in problem.clients):
+            cache.process(publish(float(chunk), chunk))
+            chunk += 1
+            assert chunk < 50, "network failed to saturate"
+        return cache
+
+    class _PhantomVictim:
+        """A broken policy returning a chunk the node does not hold."""
+
+        name = "phantom"
+
+        def choose_victim(self, state, node, publish_order, live_replicas):
+            cached = state.storage.chunks_at(node)
+            if not cached:
+                return None
+            # Return a chunk id that exists nowhere in the network.
+            return 10_000
+
+    def test_phantom_victim_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        # The storage layer rejects evicting a chunk the node does not
+        # hold (CapacityError) before the census is ever touched.
+        cache = self._saturated_cache(self._PhantomVictim())
+        with pytest.raises(ProblemError):
+            cache._make_room()
+
+    def test_negative_census_caught_under_sanitize(self, monkeypatch):
+        """A victim missing from the census must raise, not default to 1.
+
+        The old ``replicas.get(victim, 1) - 1`` silently produced 0 for a
+        chunk the census never saw; the fix defaults to 0 and the
+        sanitizer flags the resulting negative count.
+        """
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        from repro.errors import InvariantError
+
+        cache = self._saturated_cache(OldestFirst())
+        # Simulate census drift: the counts map omits every chunk even
+        # though the nodes still hold them.
+        monkeypatch.setattr(cache, "_replica_counts", lambda: {})
+        with pytest.raises(InvariantError):
+            cache._make_room()
+
+    def test_multi_node_eviction_counts_stay_nonnegative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cache = self._saturated_cache(OldestFirst())
+        freed = cache._make_room()
+        assert freed > 0
+        # The census recomputed from storage must agree with non-negative
+        # bookkeeping: no chunk can have negative copies.
+        assert all(v >= 0 for v in cache._replica_counts().values())

@@ -103,3 +103,87 @@ class TestControl:
         handle = sim.schedule(2.0, lambda: None)
         handle.cancel()
         assert sim.pending == 1
+
+
+class TestScheduleAtRounding:
+    """Regression: chained float additions accumulate sub-nanosecond
+    residue; scheduling "at now" computed through that chain must not
+    raise (PR 6's batched engine had to mirror the rounding chain to
+    dodge this)."""
+
+    def test_tiny_negative_residue_clamped(self):
+        sim = Simulator()
+        # Drive `now` through a chain of additions that does not round
+        # to the same float as the direct sum.
+        times = [0.1 * i for i in range(1, 8)]
+        for t in times:
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        target = sim.now - 1e-13  # residue-sized "past" time
+        fired = []
+        sim.schedule_at(target, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [sim.now]
+
+    def test_fires_immediately_at_current_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(sim.now, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_genuinely_past_times_still_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+
+class TestCancelledEventCompaction:
+    """Regression: cancelled events used to sit in the heap until popped,
+    so mass-cancelled retransmission timers grew the queue unbounded and
+    ``pending`` was O(n) per call."""
+
+    def test_queue_compacts_when_mostly_cancelled(self):
+        sim = Simulator()
+        keeper = sim.schedule(100.0, lambda: None)
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(1000)]
+        for handle in handles:
+            handle.cancel()
+        # Lazy compaction triggers once cancelled entries outnumber live
+        # ones: the raw heap must have shrunk to just the live event.
+        assert len(sim._queue) < 10
+        assert sim.pending == 1
+        assert not keeper.cancelled
+
+    def test_pending_is_live_count(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending == 6
+
+    def test_max_queue_depth_counts_live_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(50)]
+        for handle in handles:
+            handle.cancel()
+        # Scheduling after the mass-cancel must not report a high-water
+        # mark inflated by the cancelled corpses.
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.max_queue_depth == 50
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(True))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        handle.cancel()  # already fired: must not corrupt the live count
+        assert fired == [True]
+        assert not handle.cancelled
+        assert sim.pending == 0
