@@ -25,6 +25,15 @@ Gate a change against a committed baseline, and export an event trace::
     repro bench --quick --compare BENCH_PR3.json --threshold 25
     repro solve --random 20 --algorithm dist --trace trace.json
 
+Record streaming telemetry (time series + histograms), export it as
+OpenMetrics text, and tail a running solve/serve/sweep live::
+
+    repro solve --grid 6 --series                 # writes SERIES.json
+    repro serve --grid 6 --requests 200000 --series serve.json \\
+        --openmetrics serve-metrics.txt
+    repro monitor serve.json                      # in another terminal
+    repro bench --quick --series --openmetrics bench-metrics.txt
+
 Serve a request workload against a solved placement (accessing phase)::
 
     repro serve --grid 6 --requests 10000 --workload zipf
@@ -112,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace and write it as Chrome "
         "trace-event JSON (open in Perfetto / chrome://tracing)",
     )
+    _add_series_flags(solve, "solve")
     faults = solve.add_argument_group(
         "fault injection (dist only)",
         "radio faults for the distributed protocol; any non-default "
@@ -199,6 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace of the bench run and write "
         "it as Chrome trace-event JSON",
     )
+    bench.add_argument(
+        "--series", action="store_true",
+        help="record ring-buffered time series + streaming histograms "
+        "per run and embed each entry's repro-series/1 artifact in the "
+        "bench JSON (default off; off keeps baselines comparable)",
+    )
+    bench.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="also write every entry's metrics as one OpenMetrics text "
+        "exposition with scenario/algorithm labels",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -256,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace of the solve + replay and "
         "write it as Chrome trace-event JSON",
     )
+    _add_series_flags(serve, "solve + replay")
 
     sweep = sub.add_parser(
         "sweep",
@@ -315,6 +337,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a structured event trace of the sweep (parent "
         "process only) and write it as Chrome trace-event JSON",
+    )
+    _add_series_flags(sweep, "sweep (parent process only)")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="tail a running solve/serve/sweep via its --series snapshot "
+        "file and render a live convergence/throughput view",
+    )
+    monitor.add_argument(
+        "path", metavar="PATH",
+        help="the snapshot file another repro process writes via "
+        "--series PATH",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="polling interval in seconds (default 0.5)",
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (what CI smoke uses)",
+    )
+    monitor.add_argument(
+        "--max-wait", type=float, default=None, metavar="S",
+        help="give up (exit 3) if the snapshot file has not appeared "
+        "after S seconds (default: wait forever)",
     )
 
     lint = sub.add_parser(
@@ -393,7 +440,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     outcome = None
-    with _maybe_trace(args.trace) as tracer:
+    with _maybe_series(args) as series_rec, \
+            _maybe_trace(args.trace) as tracer:
         if fault_config is not None:
             from repro.distributed import solve_distributed
             from repro.errors import SimulationError
@@ -409,6 +457,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         else:
             placement = run_algorithms(problem, [name])[name]
     _write_trace(tracer, args.trace)
+    _write_series(series_rec, args)
     s = summarize(name, placement)
     print(f"{name} on {label}: {problem.num_chunks} chunks, "
           f"capacity {args.capacity}")
@@ -547,11 +596,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("no algorithms selected", file=sys.stderr)
         return 2
     with _maybe_trace(args.trace) as tracer:
-        result = run_bench(scenarios, algorithms, repeats=repeats)
+        result = run_bench(
+            scenarios, algorithms, repeats=repeats, series=args.series
+        )
     _write_trace(tracer, args.trace)
     write_bench(result, args.output)
     print(render_bench(result))
     print(f"\nwrote {args.output}")
+    if args.openmetrics is not None:
+        from repro.obs.bench import bench_openmetrics
+
+        with open(args.openmetrics, "w", encoding="utf-8") as handle:
+            handle.write(bench_openmetrics(result))
+        print(f"wrote openmetrics {args.openmetrics}")
     if args.max_full_rebuilds is not None:
         overruns = full_rebuild_overruns(result, args.max_full_rebuilds)
         if overruns:
@@ -623,13 +680,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         failure_rate=args.failure_rate, seed=args.seed, engine=args.engine
     )
     name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
-    with _maybe_trace(args.trace) as tracer:
+    with _maybe_series(args) as series_rec, \
+            _maybe_trace(args.trace) as tracer:
         placement = run_algorithms(problem, [name])[name]
         report = serve_placement(
             placement, workload, args.requests,
             policy=args.policy, config=config,
         )
     _write_trace(tracer, args.trace)
+    _write_series(series_rec, args)
     if args.json:
         print(report.to_json())
     else:
@@ -679,14 +738,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ProblemError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
-    with _maybe_trace(args.trace) as tracer:
+    with _maybe_series(args) as series_rec, \
+            _maybe_trace(args.trace) as tracer:
         document = run_sweep(grid, workers=workers)
     _write_trace(tracer, args.trace)
+    _write_series(series_rec, args)
     write_sweep(document, args.output)
     print(render_sweep(document))
     print(f"\nwrote {args.output} ({workers} worker"
           f"{'s' if workers != 1 else ''})")
     return 0
+
+
+def _add_series_flags(parser, what: str) -> None:
+    """The shared ``--series`` / ``--openmetrics`` flags (streaming
+    telemetry; see docs/OBSERVABILITY.md)."""
+    parser.add_argument(
+        "--series", nargs="?", const="SERIES.json", default=None,
+        metavar="PATH",
+        help=f"record ring-buffered time series + streaming histograms "
+        f"of the {what} and write the repro-series/1 artifact to PATH "
+        f"(default SERIES.json); the file is rewritten atomically during "
+        f"the run, so `repro monitor PATH` can tail it live",
+    )
+    parser.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="also write the final metrics (counters, timers, gauges, "
+        "histograms) as OpenMetrics/Prometheus text exposition",
+    )
+
+
+def _maybe_series(args):
+    """Context manager installing a SeriesRecorder when ``--series`` or
+    ``--openmetrics`` is set.
+
+    Yields the recorder (or None); the default stays a zero-cost
+    NullRecorder.  Composes with ``_maybe_trace`` — they install into
+    independent slots.
+    """
+    import contextlib
+
+    series_path = getattr(args, "series", None)
+    metrics_path = getattr(args, "openmetrics", None)
+    if series_path is None and metrics_path is None:
+        return contextlib.nullcontext(None)
+    from repro.obs import SeriesConfig, SeriesRecorder, use_recorder
+
+    @contextlib.contextmanager
+    def _installed():
+        recorder = SeriesRecorder(SeriesConfig(snapshot_path=series_path))
+        with use_recorder(recorder):
+            yield recorder
+
+    return _installed()
+
+
+def _write_series(recorder, args) -> None:
+    """Finalize the snapshot and write the OpenMetrics exposition."""
+    if recorder is None:
+        return
+    recorder.finalize()
+    series_path = getattr(args, "series", None)
+    metrics_path = getattr(args, "openmetrics", None)
+    dump = recorder.dump()
+    # Status lines go to stderr: `repro serve --json > report.json`
+    # must stay machine-parseable even with --series/--openmetrics.
+    if series_path is not None:
+        print(f"wrote series {series_path}: {len(dump['series'])} series, "
+              f"{len(dump['histograms'])} histograms "
+              f"(tail live with `repro monitor {series_path}`)",
+              file=sys.stderr)
+    if metrics_path is not None:
+        from repro.obs import write_openmetrics
+
+        write_openmetrics(dump, metrics_path)
+        print(f"wrote openmetrics {metrics_path}", file=sys.stderr)
 
 
 def _maybe_trace(path: Optional[str]):
@@ -721,6 +847,25 @@ def _write_trace(tracer, path: Optional[str]) -> None:
     if tracer.dropped:
         suffix = f" ({tracer.dropped} events dropped; ring buffer full)"
     print(f"wrote trace {path}: {len(tracer.events)} events{suffix}")
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import monitor_loop
+
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    try:
+        return monitor_loop(
+            args.path,
+            interval_s=args.interval,
+            once=args.once,
+            max_wait_s=args.max_wait,
+        )
+    except KeyboardInterrupt:
+        # Detaching from a live run is the normal way out of a tail.
+        print()
+        return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -805,6 +950,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list":

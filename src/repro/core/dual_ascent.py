@@ -199,6 +199,19 @@ def dual_ascent(
     event_loops = 0
     direct_freezes = 0
     trace = get_tracer()
+    obs = get_recorder()
+    series_on = obs.series_enabled
+    # The cumulative counters (bumped at the end of every earlier run)
+    # offset this run's round numbers and freeze/opening tallies, so
+    # the convergence series stay monotone across per-chunk solves.
+    series_base = frozen_base = admins_base = 0.0
+    if series_on:
+        series_base = float(obs.counter("dual_ascent.rounds"))
+        frozen_base = float(
+            obs.counter("dual_ascent.freezes.direct")
+            + obs.counter("dual_ascent.freezes.via_opening")
+        )
+        admins_base = float(obs.counter("dual_ascent.admins_opened"))
     tight_edges = 0
     while len(frozen) < len(clients):
         jump = rounds_to_next_event()
@@ -285,6 +298,31 @@ def dual_ascent(
             )
             tight_edges = total_tight
 
+        # Per-round convergence series (virtual time = round number):
+        # the dual objective Σα, the freeze/opening census, and the
+        # residual infeasibility (clients still bidding).  One
+        # attribute read per iteration when telemetry is off.
+        if series_on:
+            t = series_base + rounds
+            obs.series_point(
+                "dual_ascent.objective", t, sum(alpha.values())
+            )
+            obs.series_point(
+                "dual_ascent.frozen",
+                t,
+                frozen_base + len(frozen),
+                kind="counter",
+            )
+            obs.series_point(
+                "dual_ascent.admins",
+                t,
+                admins_base + len(admins),
+                kind="counter",
+            )
+            obs.series_point(
+                "dual_ascent.unserved", t, len(clients) - len(frozen)
+            )
+
     payments = {i: facility_payment(i) for i in facilities}
     span_counts = {i: len(tight[i]) for i in facilities}
     if contracts.sanitize_enabled():
@@ -302,7 +340,6 @@ def dual_ascent(
             step=config.step,
             threshold=threshold,
         )
-    obs = get_recorder()
     obs.count("dual_ascent.runs")
     obs.count("dual_ascent.rounds", rounds)
     obs.count("dual_ascent.event_loops", event_loops)

@@ -68,6 +68,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set
 from repro.errors import SimulationError
 from repro.distributed.messages import MessageStats
 from repro.distributed.simulator import EventHandle, Simulator
+from repro.obs import get_recorder
 
 Node = Hashable
 Handler = Callable[[], None]
@@ -367,6 +368,15 @@ class FaultPlane:
                     "chunk": self.chunk,
                     "sim_time": self.sim.now,
                 },
+            )
+        # Churn events are rare (scheduled timeline, not per-message),
+        # so the context-var lookup here is off the hot path.  The
+        # series records the offline census at each step edge; the
+        # per-tick ``protocol.online_nodes`` samples fill in between.
+        obs = get_recorder()
+        if obs.series_enabled:
+            obs.series_point(
+                "faults.offline_nodes", self.sim.now, len(self._offline)
             )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ transmission counts per Table II type are collected in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.analysis import contracts
@@ -193,11 +193,17 @@ class ChunkSession:
         chunk: int,
         config: DistributedConfig,
         stats: MessageStats,
+        series_base: Tuple[float, int, int, int] = (0.0, 0, 0, 0),
     ) -> None:
         self.state = state
         self.chunk = chunk
         self.config = config
         self.stats = stats
+        # Telemetry-only offsets ``(sim_time, done, drops, retx)``
+        # accumulated over earlier chunk sessions, so the per-tick
+        # series stay monotone across the per-chunk simulator resets.
+        # Never read by the protocol itself.
+        self._series_base = series_base
         self.sim = Simulator()
         self.producer = state.problem.producer
         self.graph = state.problem.graph
@@ -228,6 +234,8 @@ class ChunkSession:
         # Resolved once per session: the per-message trace guard must be
         # a plain attribute read, not a context-var lookup per radio send.
         self._trace = get_tracer()
+        # Same contract for the per-tick series guard.
+        self._obs = get_recorder()
         # Every delivery funnels through the fault plane; with all fault
         # knobs at their defaults it resolves to passthrough mode, which
         # is byte-identical to scheduling on the simulator directly.
@@ -536,6 +544,47 @@ class ChunkSession:
                     "sim_time": self.sim.now,
                 },
             )
+        # Per-tick convergence / health series on the simulator clock.
+        # ``self.stats`` and ``self.faults.fstats`` are live during the
+        # session, so the cumulative counter-kind points yield windowed
+        # message / drop / retx rates; ``protocol.online_nodes`` is the
+        # live census under churn.  One attribute read when off.
+        if self._obs.series_enabled:
+            t0, done0, drops0, retx0 = self._series_base
+            now = t0 + self.sim.now
+            obs = self._obs
+            obs.series_point(
+                "protocol.done", now, done0 + len(self._done), kind="counter"
+            )
+            obs.series_point(
+                "protocol.messages",
+                now,
+                self.stats.total_messages(),
+                kind="counter",
+            )
+            # Named apart from the ``protocol.drops`` / ``protocol.retx.*``
+            # counters mirrored at session end, so mark snapshots of
+            # those stale totals never interleave with these live values.
+            fstats = self.faults.fstats
+            obs.series_point(
+                "protocol.dropped",
+                now,
+                drops0 + fstats.total_drops(),
+                kind="counter",
+            )
+            obs.series_point(
+                "protocol.retransmits",
+                now,
+                retx0 + fstats.total_retx(),
+                kind="counter",
+            )
+            online = (
+                sum(1 for n in self.nodes if self.faults.is_online(n))
+                if faulty
+                else len(self.nodes)
+            )
+            obs.series_point("protocol.online_nodes", now, online)
+            obs.series_mark(now)
         if len(self._done) < len(self.nodes):
             if not faulty:
                 self.sim.schedule(self.config.tick_interval, self._tick)
@@ -580,11 +629,20 @@ def solve_distributed(
     events = 0
     fault_report: Optional[FaultReport] = None
     obs = get_recorder()
+    series_base = (0.0, 0, 0, 0)
     with obs.timer("solve_distributed"):
         for chunk in problem.chunks:
-            session = ChunkSession(state, chunk, config, stats)
+            session = ChunkSession(
+                state, chunk, config, stats, series_base=series_base
+            )
             with obs.timer("chunk_session"):
                 placements.append(session.run())
+            series_base = (
+                series_base[0] + session.sim.now,
+                series_base[1] + len(session._done),
+                series_base[2] + session.faults.fstats.total_drops(),
+                series_base[3] + session.faults.fstats.total_retx(),
+            )
             ticks.append(session.ticks)
             events += session.sim.events_processed
             if session.faults.mode != PASSTHROUGH:

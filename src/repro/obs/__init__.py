@@ -16,6 +16,13 @@ The instrumentation substrate every performance claim rests on:
   events exporting Chrome trace-event / Perfetto JSON.
 * :func:`build_manifest` — run provenance (:mod:`repro.obs.manifest`)
   embedded in recorder dumps, bench documents, and trace exports.
+* :class:`SeriesRecorder` / :class:`SeriesConfig` — the streaming
+  telemetry extension (:mod:`repro.obs.timeseries`): bounded
+  ring-buffered time series on a virtual-time cadence plus
+  :class:`StreamingHistogram` distribution sketches
+  (:mod:`repro.obs.histogram`), exported as OpenMetrics text
+  (:mod:`repro.obs.expose`) or the ``repro-series/1`` artifact that
+  ``repro monitor`` (:mod:`repro.obs.monitor`) tails.
 
 The benchmark suite lives in :mod:`repro.obs.bench` and the baseline
 diffing in :mod:`repro.obs.compare`; ``bench`` is imported lazily by the
@@ -23,6 +30,8 @@ CLI — it depends on the solver layers, which themselves import this
 package, so it must stay out of this namespace to avoid a cycle.
 """
 
+from repro.obs.expose import to_openmetrics, write_openmetrics
+from repro.obs.histogram import StreamingHistogram
 from repro.obs.manifest import build_manifest
 from repro.obs.recorder import (
     NullRecorder,
@@ -30,6 +39,14 @@ from repro.obs.recorder import (
     get_recorder,
     set_recorder,
     use_recorder,
+)
+from repro.obs.timeseries import (
+    SERIES_SCHEMA,
+    Series,
+    SeriesConfig,
+    SeriesRecorder,
+    load_series_artifact,
+    windowed_rates,
 )
 from repro.obs.trace import (
     NullTracer,
@@ -44,13 +61,22 @@ __all__ = [
     "NullRecorder",
     "NullTracer",
     "Recorder",
+    "SERIES_SCHEMA",
+    "Series",
+    "SeriesConfig",
+    "SeriesRecorder",
+    "StreamingHistogram",
     "TraceEvent",
     "Tracer",
     "build_manifest",
     "get_recorder",
     "get_tracer",
+    "load_series_artifact",
     "set_recorder",
     "set_tracer",
+    "to_openmetrics",
     "use_recorder",
     "use_tracer",
+    "windowed_rates",
+    "write_openmetrics",
 ]

@@ -24,7 +24,13 @@ Schema (``repro-bench/1``)::
                    "counters": {...}, "timers": {...}, "gauges": {...}}}}]}
 
 The ``counters`` / ``timers`` / ``gauges`` blocks are verbatim
-:meth:`Recorder.dump` output from the fastest repeat.
+:meth:`Recorder.dump` output from the fastest repeat.  With
+``series=True`` every run records under a
+:class:`~repro.obs.timeseries.SeriesRecorder` instead, and each entry
+additionally embeds the fastest repeat's ``repro-series/1`` artifact
+(ring-buffered time series + streaming histograms) under ``"series"``
+— default off, so the baseline numbers and ``--compare`` semantics are
+untouched unless explicitly requested.
 
 This module is imported lazily (by the CLI and tests, never by
 ``repro.obs.__init__``) because it depends on the solver layers, which
@@ -43,6 +49,7 @@ from repro.experiments.report import render_table
 from repro.experiments.runner import SOLVERS, summarize
 from repro.obs.manifest import build_manifest
 from repro.obs.recorder import Recorder, use_recorder
+from repro.obs.timeseries import SeriesRecorder
 from repro.workloads import random_problem
 
 BENCH_SCHEMA = "repro-bench/1"
@@ -121,7 +128,28 @@ DEFAULT_SUITE = (
 SUITE_BY_NAME = {scenario.name: scenario for scenario in DEFAULT_SUITE}
 
 
-def bench_algorithm(problem, algorithm: str, repeats: int = 1) -> dict:
+def _make_recorder(series: bool) -> Recorder:
+    """A fresh per-repeat recorder; a series-capable one on request."""
+    return SeriesRecorder() if series else Recorder()
+
+
+def _entry_from(recorder: Recorder, series: bool, **fields) -> dict:
+    """Shape one algorithm entry from the fastest repeat's recorder."""
+    dump = recorder.dump()
+    entry = {
+        **fields,
+        "counters": dump["counters"],
+        "timers": dump["timers"],
+        "gauges": dump["gauges"],
+    }
+    if series:
+        entry["series"] = recorder.series_artifact(final=True)
+    return entry
+
+
+def bench_algorithm(
+    problem, algorithm: str, repeats: int = 1, series: bool = False
+) -> dict:
     """Run one solver ``repeats`` times; keep the fastest run's recorder.
 
     Every repeat solves from a fresh state under its own
@@ -139,7 +167,7 @@ def bench_algorithm(problem, algorithm: str, repeats: int = 1) -> dict:
     best_recorder: Optional[Recorder] = None
     best_placement = None
     for _ in range(repeats):
-        recorder = Recorder()
+        recorder = _make_recorder(series)
         with use_recorder(recorder):
             start = time.perf_counter()
             placement = solver(problem)
@@ -149,17 +177,17 @@ def bench_algorithm(problem, algorithm: str, repeats: int = 1) -> dict:
             best_recorder = recorder
             best_placement = placement
     best_placement.validate()
-    dump = best_recorder.dump()
-    return {
-        "wall_seconds": best_wall,
-        "placement": asdict(summarize(algorithm, best_placement)),
-        "counters": dump["counters"],
-        "timers": dump["timers"],
-        "gauges": dump["gauges"],
-    }
+    return _entry_from(
+        best_recorder,
+        series,
+        wall_seconds=best_wall,
+        placement=asdict(summarize(algorithm, best_placement)),
+    )
 
 
-def bench_serve(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
+def bench_serve(
+    problem, scenario: BenchScenario, repeats: int = 1, series: bool = False
+) -> dict:
     """Benchmark the request-plane engine on this scenario.
 
     Replays a seeded Zipf workload (``SERVE_REQUESTS_PER_NODE`` requests
@@ -185,7 +213,7 @@ def bench_serve(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
     best_recorder: Optional[Recorder] = None
     best_report = None
     for _ in range(repeats):
-        recorder = Recorder()
+        recorder = _make_recorder(series)
         with use_recorder(recorder):
             start = time.perf_counter()
             report = serve_placement(placement, workload, num_requests)
@@ -194,17 +222,15 @@ def bench_serve(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
             best_wall = wall
             best_recorder = recorder
             best_report = report
-    dump = best_recorder.dump()
-    return {
-        "wall_seconds": best_wall,
-        "requests": num_requests,
-        "workload": workload.name,
-        "policy": best_report.policy,
-        "counters": dump["counters"],
-        "timers": dump["timers"],
-        "gauges": dump["gauges"],
-        "report": best_report.to_dict(),
-    }
+    return _entry_from(
+        best_recorder,
+        series,
+        wall_seconds=best_wall,
+        requests=num_requests,
+        workload=workload.name,
+        policy=best_report.policy,
+        report=best_report.to_dict(),
+    )
 
 
 #: Fault shape of the ``dist-faults`` scenario: 20% per-delivery loss,
@@ -216,7 +242,9 @@ FAULT_BENCH_RETX_TIMEOUT = 0.2
 FAULT_BENCH_MAX_RETRIES = 3
 
 
-def bench_faults(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
+def bench_faults(
+    problem, scenario: BenchScenario, repeats: int = 1, series: bool = False
+) -> dict:
     """Benchmark the distributed solver under the fixed fault shape.
 
     Runs ``solve_distributed`` with the fault plane engaged; shaped like
@@ -247,7 +275,7 @@ def bench_faults(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
     best_recorder: Optional[Recorder] = None
     best_outcome = None
     for _ in range(repeats):
-        recorder = Recorder()
+        recorder = _make_recorder(series)
         with use_recorder(recorder):
             start = time.perf_counter()
             outcome = solve_distributed(problem, config)
@@ -264,22 +292,26 @@ def bench_faults(problem, scenario: BenchScenario, repeats: int = 1) -> dict:
             f"dist-faults bench did not converge: {unserved} unserved "
             "node-chunk assignments (retransmission regression?)"
         )
-    dump = best_recorder.dump()
-    return {
-        "wall_seconds": best_wall,
-        "placement": asdict(summarize("Dist", best_outcome.placement)),
-        "counters": dump["counters"],
-        "timers": dump["timers"],
-        "gauges": dump["gauges"],
-    }
+    return _entry_from(
+        best_recorder,
+        series,
+        wall_seconds=best_wall,
+        placement=asdict(summarize("Dist", best_outcome.placement)),
+    )
 
 
 def run_bench(
     scenarios: Sequence[BenchScenario] = DEFAULT_SUITE,
     algorithms: Iterable[str] = DEFAULT_BENCH_ALGORITHMS,
     repeats: int = 1,
+    series: bool = False,
 ) -> dict:
-    """Run the whole suite; returns the ``repro-bench/1`` document."""
+    """Run the whole suite; returns the ``repro-bench/1`` document.
+
+    ``series=True`` records every run under a
+    :class:`~repro.obs.timeseries.SeriesRecorder` and embeds the
+    per-entry ``repro-series/1`` artifacts.
+    """
     algorithms = tuple(algorithms)
     results: List[dict] = []
     for scenario in scenarios:
@@ -290,7 +322,7 @@ def run_bench(
                 "network": scenario.network_info(),
                 "algorithms": {
                     "DistFaults": bench_faults(
-                        problem, scenario, repeats=repeats
+                        problem, scenario, repeats=repeats, series=series
                     )
                 },
             }
@@ -302,11 +334,15 @@ def run_bench(
                     {}
                     if scenario.serve_only
                     else {
-                        name: bench_algorithm(problem, name, repeats=repeats)
+                        name: bench_algorithm(
+                            problem, name, repeats=repeats, series=series
+                        )
                         for name in algorithms
                     }
                 ),
-                "serve": bench_serve(problem, scenario, repeats=repeats),
+                "serve": bench_serve(
+                    problem, scenario, repeats=repeats, series=series
+                ),
             }
         results.append(entry)
     return {
@@ -346,6 +382,41 @@ def full_rebuild_overruns(result: dict, budget: int) -> List[tuple]:
             if count > budget:
                 overruns.append((scenario["name"], name, count))
     return overruns
+
+
+def bench_openmetrics(result: dict) -> str:
+    """One OpenMetrics exposition of every bench entry.
+
+    Each (scenario, algorithm) entry — and each serve section, under
+    the algorithm label ``serve`` — contributes its counters / timers /
+    gauges (and histograms, when the bench ran with ``series=True``)
+    with ``scenario``/``algorithm`` labels, merged into one grouped,
+    spec-valid document.
+    """
+    from repro.obs.expose import to_openmetrics_multi
+
+    def _dump_of(entry: dict) -> dict:
+        return {
+            "counters": entry.get("counters", {}),
+            "timers": entry.get("timers", {}),
+            "gauges": entry.get("gauges", {}),
+            "histograms": entry.get("series", {}).get("histograms", {}),
+        }
+
+    entries = []
+    for scenario in result["scenarios"]:
+        for name, outcome in sorted(scenario["algorithms"].items()):
+            entries.append(
+                (_dump_of(outcome),
+                 {"scenario": scenario["name"], "algorithm": name})
+            )
+        serve = scenario.get("serve")
+        if serve:
+            entries.append(
+                (_dump_of(serve),
+                 {"scenario": scenario["name"], "algorithm": "serve"})
+            )
+    return to_openmetrics_multi(entries)
 
 
 def write_bench(result: dict, path: str) -> None:

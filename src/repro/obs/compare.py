@@ -18,6 +18,14 @@ machine-checkable verdict:
   *grew* past the threshold — or moved off a zero baseline at all, like
   ``costs.full_rebuilds`` — is a real algorithmic regression, immune to
   machine speed.
+* **Gauges** (queue depths, residuals, series-derived samples) regress
+  like timers: the per-sample ``max`` and the ``mean`` are gated when
+  the current value exceeds the baseline by more than ``threshold_pct``
+  AND by more than ``min_abs_gauge`` — the absolute floor keeps
+  near-zero gauges (e.g. residual infeasibility) from flagging on
+  floating-point jitter.  Gauges only appear when a bench ran with
+  series telemetry on both sides; otherwise the block is skipped like
+  any other one-sided metric.
 
 Only the intersection of scenarios / algorithms / metric names is
 compared: new counters appear across PRs and a ``--quick`` run covers a
@@ -39,6 +47,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 #: they are within scheduler noise for the quick CI scenarios.
 DEFAULT_MIN_ABS_SECONDS = 0.01
 
+#: Gauge deltas below this absolute amount never regress on their own —
+#: near-zero gauges (residuals, sub-request queue depths) would
+#: otherwise flag on floating-point jitter.
+DEFAULT_MIN_ABS_GAUGE = 1.0
+
 
 @dataclass(frozen=True)
 class DiffRow:
@@ -47,6 +60,7 @@ class DiffRow:
     scenario: str
     algorithm: str
     kind: str  # "wall" | "timer" | "timer-max" | "counter"
+    #        | "gauge-max" | "gauge-mean"
     name: str
     baseline: float
     current: float
@@ -61,7 +75,11 @@ class DiffRow:
 
     def label(self) -> str:
         name = self.name if self.kind != "wall" else "wall_seconds"
-        suffix = " (max)" if self.kind == "timer-max" else ""
+        suffix = ""
+        if self.kind in ("timer-max", "gauge-max"):
+            suffix = " (max)"
+        elif self.kind == "gauge-mean":
+            suffix = " (mean)"
         return f"{self.scenario}/{self.algorithm} {name}{suffix}"
 
 
@@ -101,10 +119,12 @@ class BenchComparison:
                 for row in self.regressions
             ]
             lines.append(_render_table(headers, table))
-        timers = sum(1 for r in self.rows if r.kind != "counter")
         counters = sum(1 for r in self.rows if r.kind == "counter")
+        gauges = sum(1 for r in self.rows if r.kind.startswith("gauge"))
+        timers = len(self.rows) - counters - gauges
         lines.append(
-            f"compared {timers} timer and {counters} counter entries "
+            f"compared {timers} timer, {counters} counter, "
+            f"and {gauges} gauge entries "
             f"(threshold {self.threshold_pct:g}%): "
             + (
                 "no regressions"
@@ -136,6 +156,7 @@ def compare_bench(
     current: Dict[str, Any],
     threshold_pct: float = 25.0,
     min_abs_seconds: float = DEFAULT_MIN_ABS_SECONDS,
+    min_abs_gauge: float = DEFAULT_MIN_ABS_GAUGE,
 ) -> BenchComparison:
     """Diff two bench documents; see the module docstring for semantics."""
     if threshold_pct < 0:
@@ -159,6 +180,7 @@ def compare_bench(
             cur_scenario.get("algorithms", {}),
             factor,
             min_abs_seconds,
+            min_abs_gauge,
         )
         # The serve section (request-plane engine) is shaped like an
         # algorithm entry, so the same machinery gates it; baselines
@@ -173,6 +195,7 @@ def compare_bench(
                 {"serve": cur_serve},
                 factor,
                 min_abs_seconds,
+                min_abs_gauge,
             )
         elif base_serve is not None or cur_serve is not None:
             comparison.skipped.append(f"{name}/serve")
@@ -186,6 +209,7 @@ def _compare_scenario(
     cur_algos: Dict[str, Any],
     factor: float,
     min_abs: float,
+    min_abs_gauge: float,
 ) -> None:
     for algo in sorted(set(base_algos) | set(cur_algos)):
         base = base_algos.get(algo)
@@ -244,6 +268,31 @@ def _compare_scenario(
                 DiffRow(
                     scenario, algo, "counter", counter,
                     base_f, cur_f, regressed,
+                )
+            )
+        # Gauges only exist when the bench ran with series telemetry;
+        # both the worst sample and the mean are gated with the gauge
+        # absolute floor (scheduler noise does not apply, but
+        # floating-point jitter on near-zero gauges does).
+        base_gauges = base.get("gauges", {})
+        cur_gauges = cur.get("gauges", {})
+        for gauge, base_stat in sorted(base_gauges.items()):
+            cur_stat = cur_gauges.get(gauge)
+            if cur_stat is None:
+                comparison.skipped.append(f"{scenario}/{algo} gauge {gauge}")
+                continue
+            rows.append(
+                _time_row(
+                    scenario, algo, "gauge-max", gauge,
+                    float(base_stat["max"]), float(cur_stat["max"]),
+                    factor, min_abs_gauge,
+                )
+            )
+            rows.append(
+                _time_row(
+                    scenario, algo, "gauge-mean", gauge,
+                    float(base_stat["mean"]), float(cur_stat["mean"]),
+                    factor, min_abs_gauge,
                 )
             )
 

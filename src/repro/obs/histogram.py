@@ -1,0 +1,303 @@
+"""Memory-bounded streaming histograms with a fixed relative-error bound.
+
+The :class:`~repro.obs.recorder.Recorder` summarises a gauge into five
+numbers (last/min/max/mean/count) — enough to gate a regression, not
+enough to answer "what is the p99?".  The exact answer needs every
+sample (`repro.delay.latency.percentile` sorts the full list), which is
+O(requests) memory: fine for a report built once, unacceptable for an
+always-on observability layer at the million-request scale of
+``docs/SCALING.md``.
+
+:class:`StreamingHistogram` is the bounded middle ground, following the
+DDSketch construction (Masson et al., VLDB 2019): values land in
+log-spaced buckets ``(γ^(i-1), γ^i]`` with ``γ = (1+α)/(1-α)``, so every
+recorded value differs from its bucket's representative by at most a
+**relative** error ``α`` (default 1.5%).  Quantiles interpolate between
+bucket representatives exactly the way the exact
+:func:`~repro.delay.latency.percentile` interpolates between order
+statistics, which keeps the guarantee end to end:
+
+    ``|quantile(p) − percentile(samples, p)| ≤ α · percentile(samples, p)``
+
+for any ``p``, as long as no bucket collapsing occurred (see below).
+``tests/test_histogram.py`` asserts this bound property-style across
+every serve workload × selection policy.
+
+Memory is bounded twice over: the bucket count for any data spanning
+``[a, b]`` is ``log(b/a)/log(γ)`` (~768 buckets covers 10 orders of
+magnitude at α=1.5%), and a hard ``max_buckets`` cap collapses the
+*lowest* buckets into one when exceeded — degrading only the quantiles
+that fall inside the collapsed span, never the upper tail a latency SLO
+cares about.  ``collapsed`` counts how many merges happened, so a
+degraded sketch never pretends to be exact.
+
+Standard-library-only by contract (``stdlib_only`` in
+``docs/layering.toml``), like the recorder that embeds these sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+#: Default relative-error bound α of the sketch (1.5%).
+DEFAULT_RELATIVE_ERROR = 0.015
+
+#: Default hard cap on live buckets; at α=1.5% this spans ~15 orders of
+#: magnitude, so collapsing only ever triggers on pathological data.
+DEFAULT_MAX_BUCKETS = 512
+
+#: Values at or below this magnitude are counted in the exact zero
+#: bucket — a relative-error guarantee is meaningless at 0.0, and the
+#: serve engine's self-served requests record exact zeros.
+MIN_TRACKABLE = 1e-12
+
+#: Values in ``[-NEGATIVE_TOLERANCE, 0)`` clamp to the zero bucket:
+#: float cancellation in quantities like ``latency - service -
+#: penalty`` leaves ~1e-15 residues that are zeros in every sense that
+#: matters.  Materially negative values still raise.
+NEGATIVE_TOLERANCE = 1e-9
+
+
+class StreamingHistogram:
+    """A DDSketch-style log-bucketed histogram of non-negative samples.
+
+    Parameters
+    ----------
+    relative_error:
+        The bound α: every quantile is within ``α·true`` of the exact
+        interpolated percentile of the recorded samples.
+    max_buckets:
+        Hard cap on simultaneously live buckets; overflow collapses the
+        lowest buckets (tracked in :attr:`collapsed`).
+    """
+
+    __slots__ = (
+        "_alpha",
+        "_gamma",
+        "_log_gamma",
+        "_max_buckets",
+        "_buckets",
+        "_zero",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "collapsed",
+    )
+
+    def __init__(
+        self,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError(
+                f"relative_error must be in (0, 1), got {relative_error}"
+            )
+        if max_buckets < 2:
+            raise ValueError(f"max_buckets must be >= 2, got {max_buckets}")
+        self._alpha = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self._max_buckets = max_buckets
+        # bucket index i -> count; value v lands in i = ceil(log_γ v),
+        # i.e. γ^(i-1) < v <= γ^i.
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        #: Number of bucket merges forced by the ``max_buckets`` cap.
+        self.collapsed = 0
+
+    # -- write side ----------------------------------------------------
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value`` (must be >= 0;
+        negative float residues within ``NEGATIVE_TOLERANCE`` clamp to
+        the zero bucket)."""
+        if value < 0:
+            if value < -NEGATIVE_TOLERANCE:
+                raise ValueError(
+                    f"histogram values must be >= 0, got {value}"
+                )
+            value = 0.0
+        if count < 1:
+            return
+        self._count += count
+        self._sum += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= MIN_TRACKABLE:
+            self._zero += count
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        if len(self._buckets) > self._max_buckets:
+            self._collapse_lowest()
+
+    def _collapse_lowest(self) -> None:
+        """Merge the two lowest buckets; the upper tail stays exact."""
+        ordered = sorted(self._buckets)
+        lowest, second = ordered[0], ordered[1]
+        self._buckets[second] += self._buckets.pop(lowest)
+        self.collapsed += 1
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` into this sketch (must share the same α)."""
+        if other._alpha != self._alpha:
+            raise ValueError(
+                f"cannot merge sketches with different relative errors "
+                f"({self._alpha} vs {other._alpha})"
+            )
+        self._count += other._count
+        self._sum += other._sum
+        self._zero += other._zero
+        self.collapsed += other.collapsed
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        while len(self._buckets) > self._max_buckets:
+            self._collapse_lowest()
+
+    # -- read side -----------------------------------------------------
+    @property
+    def relative_error(self) -> float:
+        return self._alpha
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def bucket_count(self) -> int:
+        """Live log buckets (the zero bucket excluded)."""
+        return len(self._buckets)
+
+    def _representative(self, index: int) -> float:
+        """Midpoint estimate for bucket ``i``: within α of every member."""
+        # 2γ^i / (γ+1) = γ^(i-1) · 2γ/(γ+1); relative error vs any
+        # v ∈ (γ^(i-1), γ^i] is at most (γ-1)/(γ+1) = α.
+        return 2.0 * math.pow(self._gamma, index) / (self._gamma + 1.0)
+
+    def _value_at(self, rank: int) -> float:
+        """The sketch's estimate of the ``rank``-th smallest sample."""
+        if rank < self._zero:
+            return 0.0
+        seen = self._zero
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                value = self._representative(index)
+                # The exact min/max are tracked, so the estimate never
+                # leaves the observed range.
+                return min(max(value, self._min), self._max)
+        return self._max
+
+    def quantile(self, p: float) -> float:
+        """p-th percentile (0..100), interpolated like
+        :func:`repro.delay.latency.percentile`.
+
+        Within ``relative_error`` of the exact interpolated percentile
+        of the recorded samples (collapsing aside): both order
+        statistics being interpolated are estimated within α, and a
+        convex combination of α-accurate non-negative values is itself
+        α-accurate.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self._count == 0:
+            return 0.0
+        if self._count == 1:
+            return self._value_at(0)
+        rank = (p / 100.0) * (self._count - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        low_value = self._value_at(low)
+        if low == high:
+            return low_value
+        frac = rank - low
+        return low_value * (1 - frac) + self._value_at(high) * frac
+
+    def quantiles(
+        self, ps: Iterable[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """Named quantile estimates, e.g. ``{"p50": ..., "p99": ...}``."""
+        return {f"p{p:g}": self.quantile(p) for p in ps}
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; deterministic key order; round-trips via
+        :meth:`from_dict`."""
+        return {
+            "relative_error": self._alpha,
+            "max_buckets": self._max_buckets,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "zero": self._zero,
+            "collapsed": self.collapsed,
+            "buckets": {
+                str(index): self._buckets[index]
+                for index in sorted(self._buckets)
+            },
+            "quantiles": self.quantiles() if self._count else {},
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "StreamingHistogram":
+        """Inverse of :meth:`to_dict` (quantiles are re-derived)."""
+        sketch = StreamingHistogram(
+            relative_error=float(data["relative_error"]),
+            max_buckets=int(data["max_buckets"]),
+        )
+        sketch._count = int(data["count"])
+        sketch._sum = float(data["sum"])
+        sketch._zero = int(data["zero"])
+        sketch.collapsed = int(data.get("collapsed", 0))
+        if sketch._count:
+            sketch._min = float(data["min"])
+            sketch._max = float(data["max"])
+        sketch._buckets = {
+            int(index): int(count)
+            for index, count in data.get("buckets", {}).items()
+        }
+        return sketch
+
+    def bucket_bounds(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs for exposition
+        formats (OpenMetrics ``le`` buckets), lowest bound first; the
+        zero bucket exports with bound ``MIN_TRACKABLE``."""
+        bounds: List[Tuple[float, int]] = []
+        cumulative = 0
+        if self._zero:
+            cumulative += self._zero
+            bounds.append((MIN_TRACKABLE, cumulative))
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            bounds.append((math.pow(self._gamma, index), cumulative))
+        return bounds

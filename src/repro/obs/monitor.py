@@ -1,0 +1,195 @@
+"""In-terminal tail of a running solve/serve/sweep via snapshot files.
+
+``repro monitor PATH`` watches the ``repro-series/1`` snapshot that a
+:class:`~repro.obs.timeseries.SeriesRecorder` rewrites atomically
+during a run (``--series`` on ``repro solve|serve|sweep``), and renders
+a compact convergence/throughput view: one sparkline per series plus
+the latest counters and histogram quantiles.  The handoff is purely
+file-based — no sockets, no threads; the monitor polls the file's
+mtime and re-reads on change, which composes with the writer's
+``os.replace`` atomicity so a torn read is impossible.  When the
+writer's final snapshot arrives (``"final": true``) the monitor prints
+the last frame and exits 0.
+
+Rendering is plain text (the sparkline glyphs ``▁▂▃▄▅▆▇█`` are the
+only non-ASCII) so it works over ssh and in CI logs; ``--once``
+renders a single frame without looping, which is what CI smoke uses.
+
+Standard-library-only by contract (``stdlib_only`` in
+``docs/layering.toml``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO
+
+from repro.obs.timeseries import load_series_artifact, windowed_rates
+
+#: Sparkline glyph ramp, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: Default polling interval of :func:`monitor_loop` (wall-clock
+#: seconds; the monitor is an observer, determinism contracts do not
+#: apply to it).
+DEFAULT_POLL_INTERVAL_S = 0.5
+
+#: How many trailing points feed each sparkline.
+SPARK_WIDTH = 48
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read and validate a ``repro-series/1`` snapshot file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return load_series_artifact(json.load(fh))
+
+
+def sparkline(values: Sequence[float], width: int = SPARK_WIDTH) -> str:
+    """Render the trailing ``width`` values as a one-line sparkline."""
+    if not values:
+        return ""
+    tail = list(values)[-width:]
+    low = min(tail)
+    high = max(tail)
+    span = high - low
+    if span <= 0:
+        return SPARK_GLYPHS[0] * len(tail)
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[int((v - low) / span * top)] for v in tail
+    )
+
+
+def _series_row(name: str, series: Mapping[str, Any]) -> str:
+    points = series.get("points", [])
+    kind = series.get("kind", "sample")
+    if kind == "counter":
+        rates = windowed_rates(points)
+        values = [rate for _, rate in rates]
+        latest = values[-1] if values else 0.0
+        suffix = f"{latest:,.1f}/t"
+    else:
+        values = [v for _, v in points]
+        latest = values[-1] if values else 0.0
+        suffix = f"{latest:,.4g}"
+    dropped = series.get("dropped", 0)
+    drop_note = f"  (dropped {dropped})" if dropped else ""
+    return f"  {name:<36} {sparkline(values):<{SPARK_WIDTH}} {suffix}{drop_note}"
+
+
+def render_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """One text frame: series sparklines, histogram quantiles, and the
+    busiest counters."""
+    lines: List[str] = []
+    manifest = snapshot.get("manifest", {})
+    state = "final" if snapshot.get("final") else "live"
+    scenario_bits = [
+        f"{key}={manifest[key]}"
+        for key in ("scenario", "algorithm", "seed")
+        if key in manifest
+    ]
+    header = f"repro monitor [{state}]"
+    if scenario_bits:
+        header += "  " + "  ".join(scenario_bits)
+    lines.append(header)
+
+    series = snapshot.get("series", {})
+    if series:
+        lines.append("series (windowed rate for counters, last for samples):")
+        for name in sorted(series):
+            lines.append(_series_row(name, series[name]))
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms (p50/p95/p99, streaming ±α):")
+        for name in sorted(histograms):
+            quantiles = histograms[name].get("quantiles", {})
+            count = histograms[name].get("count", 0)
+            p50 = quantiles.get("p50", 0.0)
+            p95 = quantiles.get("p95", 0.0)
+            p99 = quantiles.get("p99", 0.0)
+            lines.append(
+                f"  {name:<36} {p50:.6g} / {p95:.6g} / {p99:.6g}"
+                f"  (n={count})"
+            )
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        top = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:8]
+        for name, value in top:
+            lines.append(f"  {name:<44} {value}")
+
+    return "\n".join(lines)
+
+
+def monitor_loop(
+    path: str,
+    interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    once: bool = False,
+    stream: Optional[TextIO] = None,
+    max_wait_s: Optional[float] = None,
+) -> int:
+    """Tail ``path``, rendering a frame whenever the file changes.
+
+    Returns 0 after rendering a ``"final": true`` snapshot (or after
+    one frame with ``once=True``); returns 3 if ``max_wait_s`` elapses
+    before the file first appears.  Frames are separated by a blank
+    line rather than cursor tricks, so output stays meaningful when
+    piped or captured by CI.
+    """
+    out = stream if stream is not None else sys.stdout
+    last_mtime: Optional[float] = None
+    waited = 0.0
+    try:
+        return _loop(path, interval_s, once, max_wait_s, out,
+                     last_mtime, waited)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: a normal way to stop
+        # tailing, not an error.
+        return 0
+
+
+def _loop(
+    path: str,
+    interval_s: float,
+    once: bool,
+    max_wait_s: Optional[float],
+    out: TextIO,
+    last_mtime: Optional[float],
+    waited: float,
+) -> int:
+    while True:
+        try:
+            mtime = os.stat(path).st_mtime
+        except FileNotFoundError:
+            if once:
+                print(f"monitor: no snapshot at {path}", file=out)
+                return 3
+            if max_wait_s is not None and waited >= max_wait_s:
+                print(
+                    f"monitor: gave up waiting for {path} "
+                    f"after {waited:.1f}s",
+                    file=out,
+                )
+                return 3
+            time.sleep(interval_s)
+            waited += interval_s
+            continue
+        if mtime != last_mtime:
+            last_mtime = mtime
+            try:
+                snapshot = load_snapshot(path)
+            except (ValueError, json.JSONDecodeError):
+                # Extremely unlikely given atomic replace, but a
+                # half-written legacy file should not kill the tail.
+                time.sleep(interval_s)
+                continue
+            print(render_snapshot(snapshot), file=out)
+            print("", file=out)
+            if once or snapshot.get("final"):
+                return 0
+        time.sleep(interval_s)

@@ -107,7 +107,20 @@ class Recorder:
     * **Gauges** (:meth:`gauge`) — point-in-time samples (queue depths,
       per-node loads); each name tracks last/min/max/mean/count so a
       whole distribution summarises into five numbers.
+
+    The streaming-telemetry surface (:meth:`series_point`,
+    :meth:`series_mark`, :meth:`observe`, :attr:`series_enabled`) is
+    declared here as a no-op so every instrumented call site stays
+    valid against any recorder; only
+    :class:`~repro.obs.timeseries.SeriesRecorder` implements it.  Hot
+    loops guard the calls behind ``if obs.series_enabled:`` — one
+    attribute read when telemetry is off, mirroring the tracer's
+    ``enabled`` contract.
     """
+
+    #: ``True`` only on :class:`~repro.obs.timeseries.SeriesRecorder`;
+    #: hot paths use it to skip series bookkeeping entirely.
+    series_enabled: bool = False
 
     def __init__(self) -> None:
         self._counters: Dict[str, Number] = {}
@@ -143,6 +156,37 @@ class Recorder:
             stat[2] = value
         stat[3] += value
         stat[4] += 1
+
+    def series_point(
+        self, name: str, t: float, value: Number, kind: str = "sample"
+    ) -> None:
+        """Record one ``(t, value)`` point of time series ``name``.
+
+        A no-op on the base recorder (and on :class:`NullRecorder`);
+        :class:`~repro.obs.timeseries.SeriesRecorder` appends it to a
+        bounded ring series.  ``kind`` is ``"sample"`` for point-in-time
+        values and ``"counter"`` for cumulative values whose windowed
+        rate is the interesting signal.
+        """
+
+    def series_mark(self, t: float) -> None:
+        """Cadence hook: snapshot watched counters at virtual time ``t``.
+
+        A no-op here; :class:`~repro.obs.timeseries.SeriesRecorder`
+        snapshots every counter matching its configured prefixes into
+        counter-kind series, at most once per configured interval.
+        """
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one distribution sample of ``name``.
+
+        The base recorder folds it into the five-number :meth:`gauge`
+        summary; :class:`~repro.obs.timeseries.SeriesRecorder`
+        additionally feeds a memory-bounded
+        :class:`~repro.obs.histogram.StreamingHistogram` so quantiles
+        survive without keeping the raw samples.
+        """
+        self.gauge(name, value)
 
     def annotate(self, **fields: Any) -> None:
         """Attach run-provenance fields (seed, scenario parameters, ...)
@@ -278,6 +322,9 @@ class NullRecorder(Recorder):
         return _NULL_TIMER
 
     def gauge(self, name: str, value: Number) -> None:  # noqa: D102
+        pass
+
+    def observe(self, name: str, value: Number) -> None:  # noqa: D102
         pass
 
     def annotate(self, **fields: Any) -> None:  # noqa: D102

@@ -42,6 +42,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import sys
 from collections import deque
 from time import perf_counter
 from types import TracebackType
@@ -283,7 +284,14 @@ class Tracer:
                 "ts": 0,
                 "pid": _PID,
                 "tid": 0,
-                "args": {"name": "repro"},
+                # The ring-buffer accounting rides on the process
+                # metadata so it is visible inside Perfetto itself,
+                # not only in ``otherData`` (which the UI hides).
+                "args": {
+                    "name": "repro",
+                    "retained_events": len(events),
+                    "dropped_events": self._dropped,
+                },
             }
         ]
         # Register tracks in event order so tids are deterministic.
@@ -319,10 +327,23 @@ class Tracer:
         return json.dumps(self.export(manifest), indent=1)
 
     def write(self, path: str, manifest: Optional[Dict[str, Any]] = None) -> None:
-        """Write the Chrome trace JSON to ``path``."""
+        """Write the Chrome trace JSON to ``path``.
+
+        When the ring buffer overflowed, a one-line warning on stderr
+        says how many of the oldest events were lost — a silent
+        truncation would read as "the run started here".
+        """
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json(manifest))
             handle.write("\n")
+        if self._dropped > 0:
+            print(
+                f"warning: trace ring buffer overflowed — dropped the "
+                f"{self._dropped} oldest event(s) of "
+                f"{self._dropped + len(self._buffer)} recorded "
+                f"(capacity {self._capacity})",
+                file=sys.stderr,
+            )
 
 
 class NullTracer(Tracer):

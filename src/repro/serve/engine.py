@@ -289,6 +289,12 @@ class ServeEngine(ServeView):
             self.problem.clients, self.problem.num_chunks
         )
         remaining = self.num_requests
+        # Streaming-telemetry guard: one attribute read when off.  The
+        # per-request engine samples per completion; ``arrived`` feeds
+        # the in-flight census and is only maintained when telemetry is
+        # on (it never influences the replay).
+        series_on = obs.series_enabled
+        arrived = 0
 
         def schedule_next() -> None:
             nonlocal remaining
@@ -302,7 +308,10 @@ class ServeEngine(ServeView):
             sim.schedule_at(request.time, lambda: arrive(request))
 
         def arrive(request: Request) -> None:
+            nonlocal arrived
             schedule_next()  # keep exactly one pending arrival queued
+            if series_on:
+                arrived += 1
             candidates = list(self._candidates[request.chunk])
             attempts = 0
             while True:
@@ -361,6 +370,19 @@ class ServeEngine(ServeView):
                 obs.count("serve.timeouts")
             self._makespan = sim.now
             obs.count("serve.requests")
+            # Per-completion telemetry: latency/queue-delay histograms,
+            # in-flight census, and the counter snapshot (interval-
+            # throttled by the recorder) that yields rolling
+            # throughput / failover / timeout rate series.  Purely
+            # additive — no RNG draws, no float-order changes — so the
+            # report stays byte-identical with series enabled.
+            if series_on:
+                obs.observe("serve.latency_s", latency)
+                obs.observe("serve.queue_delay_s", queue_delay)
+                obs.series_point(
+                    "serve.inflight", sim.now, arrived - len(self._latencies)
+                )
+                obs.series_mark(sim.now)
             if trace.enabled:
                 trace.instant(
                     "serve.request",
@@ -449,6 +471,13 @@ class ServeEngine(ServeView):
         retried = 0
         self_served = 0
         track_depth = not load_independent
+        # Streaming telemetry: the batched engine samples once per
+        # batch (its natural cadence) from the live local tallies —
+        # the recorder counters are only bulk-incremented at the end
+        # of the replay, so ``series_mark`` snapshots would read zeros
+        # here.  Series names and kinds match the per-request engine's
+        # schema exactly.
+        series_on = obs.series_enabled
 
         def drain(limit: Optional[float]) -> None:
             """Account completions before ``limit`` (all when None).
@@ -474,6 +503,9 @@ class ServeEngine(ServeView):
                 if latency > timeout:
                     timeouts += 1
                 self._makespan = done
+                if series_on:
+                    obs.observe("serve.latency_s", latency)
+                    obs.observe("serve.queue_delay_s", queue_delay)
                 if traced:
                     trace.instant(
                         "serve.request",
@@ -488,6 +520,19 @@ class ServeEngine(ServeView):
                             "sim_time": done,
                         },
                     )
+
+        def sample_series() -> None:
+            """One telemetry sample per batch: cumulative completion /
+            failover / timeout counters (windowed rates fall out) plus
+            the in-flight census.  Reads only — never mutates replay
+            state."""
+            t = effective
+            obs.series_point("serve.requests", t, len(latencies),
+                             kind="counter")
+            obs.series_point("serve.failovers", t, failovers,
+                             kind="counter")
+            obs.series_point("serve.timeouts", t, timeouts, kind="counter")
+            obs.series_point("serve.inflight", t, len(heap))
 
         stream = self.workload.stream_batches(
             self.problem.clients, self.problem.num_chunks,
@@ -544,6 +589,8 @@ class ServeEngine(ServeView):
                     seq += 1
                 if len(heap) > heap_peak:
                     heap_peak = len(heap)
+                if series_on:
+                    sample_series()
                 continue
             for i in range(len(times)):
                 raw = times[i]
@@ -577,7 +624,11 @@ class ServeEngine(ServeView):
                 seq += 1
                 if len(heap) > heap_peak:
                     heap_peak = len(heap)
+            if series_on:
+                sample_series()
         drain(None)
+        if series_on:
+            sample_series()
         self._live_depth = None
 
         self._timeouts += timeouts

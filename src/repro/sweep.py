@@ -284,8 +284,11 @@ def run_sweep(
     """Run every cell of ``grid`` and merge the ``repro-sweep/1`` doc.
 
     ``workers`` > 1 fans cells across a ``multiprocessing.Pool``;
-    ``Pool.map`` returns results in submission order, so the merged
-    artifact is byte-identical for any worker count.  ``manifest_extra``
+    ``Pool.imap`` (with ``chunksize=1``) yields results in submission
+    order, so the merged artifact is byte-identical for any worker
+    count — and, unlike ``Pool.map``, streams each cell back as it
+    finishes, which is what the per-cell ``sweep.cells_done`` progress
+    series (and ``repro monitor``) hang off.  ``manifest_extra``
     fields are merged into the embedded manifest — pass a fixed
     ``created_unix`` to pin the one nondeterministic field.
     """
@@ -296,6 +299,26 @@ def run_sweep(
     ]
     obs = get_recorder()
     trace = get_tracer()
+    series_on = obs.series_enabled
+
+    def collect(iterator: Any) -> List[Dict[str, Any]]:
+        """Accumulate cell results in order, emitting the progress
+        series per completed cell (virtual time = cell index)."""
+        out: List[Dict[str, Any]] = []
+        for result in iterator:
+            out.append(result)
+            if series_on:
+                done = len(out)
+                obs.series_point("sweep.cells_done", float(done), done,
+                                 kind="counter")
+                obs.series_point(
+                    "sweep.cell_gini",
+                    float(done),
+                    result["report"]["served_gini"],
+                )
+                obs.series_mark(float(done))
+        return out
+
     with trace.span(
         "sweep.session",
         track="sweep",
@@ -307,10 +330,12 @@ def run_sweep(
         ),
     ), obs.timer("sweep.run"):
         if workers <= 1:
-            results = [_run_cell(payload) for payload in payloads]
+            results = collect(_run_cell(payload) for payload in payloads)
         else:
             with multiprocessing.Pool(processes=workers) as pool:
-                results = pool.map(_run_cell, payloads, chunksize=1)
+                results = collect(
+                    pool.imap(_run_cell, payloads, chunksize=1)
+                )
         obs.count("sweep.cells", len(cells))
         obs.gauge("sweep.workers", workers)
         for result in results:

@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.obs.compare import (
+    DEFAULT_MIN_ABS_GAUGE,
     DEFAULT_MIN_ABS_SECONDS,
     compare_bench,
     load_bench,
@@ -159,6 +160,80 @@ class TestScope:
     def test_negative_threshold_rejected(self):
         with pytest.raises(ValueError):
             compare_bench(_doc(), _doc(), threshold_pct=-1.0)
+
+
+class TestGaugeGate:
+    def _gauge_doc(self, gmax, gmean):
+        doc = _doc()
+        doc["scenarios"][0]["algorithms"]["Appx"]["gauges"] = {
+            "serve.inflight": {
+                "last": gmean, "min": 0.0, "max": gmax,
+                "mean": gmean, "count": 100,
+            }
+        }
+        return doc
+
+    def test_identical_gauges_pass(self):
+        base = self._gauge_doc(10.0, 4.0)
+        comparison = compare_bench(base, copy.deepcopy(base))
+        assert comparison.ok
+        kinds = {r.kind for r in comparison.rows}
+        assert {"gauge-max", "gauge-mean"} <= kinds
+
+    def test_gauge_max_regression_fails(self):
+        comparison = compare_bench(
+            self._gauge_doc(10.0, 4.0), self._gauge_doc(20.0, 4.0)
+        )
+        assert not comparison.ok
+        (row,) = comparison.regressions
+        assert row.kind == "gauge-max"
+        assert "(max)" in row.label()
+
+    def test_gauge_mean_regression_fails(self):
+        comparison = compare_bench(
+            self._gauge_doc(10.0, 4.0), self._gauge_doc(10.0, 8.0)
+        )
+        assert not comparison.ok
+        (row,) = comparison.regressions
+        assert row.kind == "gauge-mean"
+        assert "(mean)" in row.label()
+
+    def test_absolute_floor_absorbs_near_zero_jitter(self):
+        # +400% but +0.4 absolute: under the 1.0 gauge floor.
+        comparison = compare_bench(
+            self._gauge_doc(0.1, 0.1), self._gauge_doc(0.5, 0.5)
+        )
+        assert comparison.ok
+
+    def test_floor_is_configurable(self):
+        comparison = compare_bench(
+            self._gauge_doc(0.1, 0.1),
+            self._gauge_doc(0.5, 0.5),
+            min_abs_gauge=0.0,
+        )
+        assert not comparison.ok
+
+    def test_default_floor_value(self):
+        assert DEFAULT_MIN_ABS_GAUGE == 1.0
+
+    def test_legacy_baseline_without_gauges_skipped(self):
+        comparison = compare_bench(_doc(), self._gauge_doc(99.0, 99.0))
+        assert comparison.ok
+        assert not any(r.kind.startswith("gauge") for r in comparison.rows)
+
+    def test_one_sided_gauge_skipped(self):
+        base = self._gauge_doc(1.0, 1.0)
+        cur = copy.deepcopy(base)
+        algos = cur["scenarios"][0]["algorithms"]["Appx"]
+        algos["gauges"] = {"other.gauge": algos["gauges"]["serve.inflight"]}
+        comparison = compare_bench(base, cur)
+        assert comparison.ok
+        assert any("gauge serve.inflight" in s for s in comparison.skipped)
+
+    def test_render_counts_gauge_entries(self):
+        base = self._gauge_doc(1.0, 1.0)
+        text = compare_bench(base, copy.deepcopy(base)).render()
+        assert "2 gauge entries" in text
 
     def test_render_mentions_summary(self):
         comparison = compare_bench(_doc(wall=1.0), _doc(wall=5.0))

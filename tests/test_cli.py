@@ -209,8 +209,9 @@ class TestBench:
 
         original = bench_mod.bench_algorithm
 
-        def inflated(problem, algorithm, repeats=1):
-            outcome = original(problem, algorithm, repeats=repeats)
+        def inflated(problem, algorithm, repeats=1, series=False):
+            outcome = original(problem, algorithm, repeats=repeats,
+                               series=series)
             outcome["counters"]["costs.full_rebuilds"] = 7
             return outcome
 

@@ -1,0 +1,256 @@
+"""Tests for the streaming histogram (:mod:`repro.obs.histogram`).
+
+The headline contract is the relative-error bound: every quantile the
+sketch reports is within ``relative_error`` (α, default 1.5%) of the
+exact interpolated :func:`repro.delay.latency.percentile` over the same
+samples.  The property-style class at the bottom asserts that bound on
+real serve latency distributions across every workload × policy pair.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.delay.latency import percentile
+from repro.obs import StreamingHistogram, use_recorder
+from repro.obs.histogram import (
+    DEFAULT_MAX_BUCKETS,
+    DEFAULT_RELATIVE_ERROR,
+    MIN_TRACKABLE,
+)
+from repro.obs.timeseries import SeriesRecorder
+
+
+class TestBasics:
+    def test_empty_histogram(self):
+        hist = StreamingHistogram()
+        assert hist.count == 0
+        assert hist.sum == 0.0
+        assert hist.quantile(50) == 0.0
+        assert hist.quantiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_value(self):
+        hist = StreamingHistogram()
+        hist.add(3.5)
+        assert hist.count == 1
+        assert hist.sum == 3.5
+        assert hist.minimum == 3.5
+        assert hist.maximum == 3.5
+        for p in (0, 50, 99, 100):
+            assert hist.quantile(p) == pytest.approx(3.5, rel=0.02)
+
+    def test_weighted_add(self):
+        hist = StreamingHistogram()
+        hist.add(1.0, count=10)
+        assert hist.count == 10
+        assert hist.sum == pytest.approx(10.0)
+
+    def test_zero_values_tracked_exactly(self):
+        hist = StreamingHistogram()
+        for _ in range(5):
+            hist.add(0.0)
+        hist.add(100.0)
+        assert hist.count == 6
+        assert hist.quantile(50) == 0.0
+
+    def test_tiny_values_fold_into_zero_bucket(self):
+        hist = StreamingHistogram()
+        hist.add(MIN_TRACKABLE / 10)
+        assert hist.count == 1
+        assert hist.quantile(50) == 0.0
+
+    def test_float_cancellation_residue_tolerated(self):
+        # Queue delays computed as a - b - c can leave residues like
+        # -1.8e-15; those clamp to the zero bucket instead of raising.
+        hist = StreamingHistogram()
+        hist.add(-1.8e-15)
+        assert hist.count == 1
+        assert hist.quantile(50) == 0.0
+
+    def test_materially_negative_rejected(self):
+        hist = StreamingHistogram()
+        with pytest.raises(ValueError):
+            hist.add(-0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(relative_error=0.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(relative_error=1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(max_buckets=1)
+        with pytest.raises(ValueError):
+            StreamingHistogram().quantile(101)
+
+    def test_zero_count_add_is_noop(self):
+        hist = StreamingHistogram()
+        hist.add(1.0, count=0)
+        assert hist.count == 0
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_quantiles_within_alpha_of_exact(self, seed):
+        rng = random.Random(seed)
+        values = [rng.expovariate(1.0) + 0.001 for _ in range(5000)]
+        hist = StreamingHistogram()
+        for v in values:
+            hist.add(v)
+        for p in (50, 90, 95, 99, 99.9):
+            exact = percentile(values, p)
+            approx = hist.quantile(p)
+            assert approx == pytest.approx(
+                exact, rel=DEFAULT_RELATIVE_ERROR
+            ), f"p{p}: exact={exact} sketch={approx}"
+
+    def test_min_max_exact(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.5, 9.5) for _ in range(1000)]
+        hist = StreamingHistogram()
+        for v in values:
+            hist.add(v)
+        assert hist.minimum == min(values)
+        assert hist.maximum == max(values)
+        # Edge quantiles come from bucket representatives, clamped to
+        # the exact [min, max] envelope — within α like any quantile.
+        assert hist.quantile(0) == pytest.approx(
+            min(values), rel=2 * DEFAULT_RELATIVE_ERROR
+        )
+        assert hist.quantile(100) == pytest.approx(
+            max(values), rel=2 * DEFAULT_RELATIVE_ERROR
+        )
+
+    def test_mean_exact(self):
+        values = [0.1, 0.2, 0.3, 4.0]
+        hist = StreamingHistogram()
+        for v in values:
+            hist.add(v)
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+
+
+class TestMemoryBound:
+    def test_bucket_count_bounded_under_wide_range(self):
+        hist = StreamingHistogram(max_buckets=64)
+        rng = random.Random(11)
+        for _ in range(20_000):
+            hist.add(10 ** rng.uniform(-6, 6))
+        assert hist.bucket_count <= 64
+        assert hist.collapsed > 0
+        assert hist.count == 20_000
+
+    def test_collapse_preserves_upper_quantiles(self):
+        # Collapsing folds the *lowest* buckets, so upper quantiles stay
+        # within the α bound even after heavy collapsing.
+        rng = random.Random(13)
+        values = [10 ** rng.uniform(-6, 6) for _ in range(20_000)]
+        hist = StreamingHistogram(max_buckets=64)
+        for v in values:
+            hist.add(v)
+        exact = percentile(values, 99)
+        assert hist.quantile(99) == pytest.approx(exact, rel=0.05)
+
+
+class TestMergeAndSerialization:
+    def test_merge_matches_union(self):
+        rng = random.Random(17)
+        a_vals = [rng.expovariate(2.0) for _ in range(2000)]
+        b_vals = [rng.expovariate(0.5) for _ in range(2000)]
+        a = StreamingHistogram()
+        b = StreamingHistogram()
+        union = StreamingHistogram()
+        for v in a_vals:
+            a.add(v)
+            union.add(v)
+        for v in b_vals:
+            b.add(v)
+            union.add(v)
+        a.merge(b)
+        assert a.count == union.count
+        assert a.sum == pytest.approx(union.sum)
+        for p in (50, 95, 99):
+            assert a.quantile(p) == pytest.approx(union.quantile(p))
+
+    def test_merge_requires_same_resolution(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(relative_error=0.01).merge(
+                StreamingHistogram(relative_error=0.02)
+            )
+
+    def test_round_trip_via_dict(self):
+        hist = StreamingHistogram()
+        rng = random.Random(19)
+        for _ in range(500):
+            hist.add(rng.uniform(0.001, 10.0))
+        clone = StreamingHistogram.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.sum == pytest.approx(hist.sum)
+        assert clone.to_dict() == hist.to_dict()
+
+    def test_bucket_bounds_cumulative(self):
+        hist = StreamingHistogram()
+        for v in (0.5, 1.0, 2.0, 4.0):
+            hist.add(v)
+        bounds = hist.bucket_bounds()
+        uppers = [u for u, _ in bounds]
+        counts = [c for _, c in bounds]
+        assert uppers == sorted(uppers)
+        assert counts == sorted(counts)
+        assert counts[-1] == hist.count
+
+    def test_default_constants(self):
+        assert DEFAULT_RELATIVE_ERROR == 0.015
+        assert DEFAULT_MAX_BUCKETS == 512
+
+
+class TestServeLatencyProperty:
+    """The documented bound, on real data: for every serve workload ×
+    selection policy, the streaming p50/p95/p99 of request latency is
+    within α of the exact interpolated percentile the
+    :class:`~repro.serve.stats.ServeReport` computes."""
+
+    @pytest.fixture(scope="class")
+    def placement(self):
+        from repro.core import solve_approximation
+        from repro.workloads import grid_problem
+
+        return solve_approximation(grid_problem(4, num_chunks=3))
+
+    def _serve_pairs(self):
+        from repro.serve import SELECTION_POLICIES, WORKLOADS
+
+        return [
+            (w, p)
+            for w in sorted(WORKLOADS)
+            for p in sorted(SELECTION_POLICIES)
+        ]
+
+    def test_streaming_quantiles_match_exact_report(self, placement):
+        from repro.serve import WORKLOADS, serve_placement
+
+        for workload_name, policy in self._serve_pairs():
+            recorder = SeriesRecorder()
+            with use_recorder(recorder):
+                report = serve_placement(
+                    placement,
+                    WORKLOADS[workload_name](seed=23),
+                    2000,
+                    policy=policy,
+                )
+            hist = recorder.histogram("serve.latency_s")
+            assert hist is not None, (workload_name, policy)
+            assert hist.count == report.completed
+            exact = {
+                50: report.latency_p50,
+                95: report.latency_p95,
+                99: report.latency_p99,
+            }
+            for p, exact_value in exact.items():
+                approx = hist.quantile(p)
+                assert approx == pytest.approx(
+                    exact_value, rel=hist.relative_error, abs=1e-9
+                ), (
+                    f"{workload_name}/{policy} p{p}: "
+                    f"exact={exact_value} sketch={approx}"
+                )

@@ -1,0 +1,293 @@
+"""Tests for the time-series telemetry layer (:mod:`repro.obs.timeseries`).
+
+Covers the ring-buffer contract, the mark cadence, the snapshot
+handoff, the instrumented producers (dual ascent, distributed protocol,
+serve engines, sweep), and the headline determinism guarantee: enabling
+series telemetry never changes a single byte of any report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import solve_approximation
+from repro.obs import (
+    NullRecorder,
+    Recorder,
+    SERIES_SCHEMA,
+    Series,
+    SeriesConfig,
+    SeriesRecorder,
+    load_series_artifact,
+    use_recorder,
+    windowed_rates,
+)
+from repro.workloads import grid_problem
+
+
+class TestSeries:
+    def test_append_and_points(self):
+        series = Series("x")
+        series.append(1.0, 10)
+        series.append(2.0, 20)
+        assert series.points == [(1.0, 10.0), (2.0, 20.0)]
+        assert series.last == (2.0, 20.0)
+        assert len(series) == 2
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        series = Series("x", capacity=3)
+        for t in range(5):
+            series.append(float(t), t)
+        assert len(series) == 3
+        assert series.dropped == 2
+        assert series.points[0] == (2.0, 2.0)
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Series("x", kind="gauge")
+        with pytest.raises(ValueError):
+            Series("x", capacity=0)
+
+    def test_to_dict_schema(self):
+        series = Series("x", kind="counter", capacity=8)
+        series.append(1.0, 5)
+        data = series.to_dict()
+        assert data == {
+            "kind": "counter",
+            "capacity": 8,
+            "dropped": 0,
+            "points": [[1.0, 5.0]],
+        }
+
+
+class TestWindowedRates:
+    def test_rates_from_cumulative(self):
+        points = [[0.0, 0.0], [1.0, 10.0], [3.0, 30.0]]
+        assert windowed_rates(points) == [(1.0, 10.0), (3.0, 10.0)]
+
+    def test_zero_width_windows_skipped(self):
+        points = [[1.0, 5.0], [1.0, 7.0], [2.0, 9.0]]
+        assert windowed_rates(points) == [(2.0, 2.0)]
+
+    def test_empty_and_single(self):
+        assert windowed_rates([]) == []
+        assert windowed_rates([[1.0, 1.0]]) == []
+
+
+class TestSeriesRecorder:
+    def test_series_enabled_flags(self):
+        assert SeriesRecorder().series_enabled is True
+        assert Recorder().series_enabled is False
+        assert NullRecorder().series_enabled is False
+
+    def test_base_recorder_hooks_are_noops(self):
+        rec = Recorder()
+        rec.series_point("x", 1.0, 2.0)
+        rec.series_mark(1.0)
+        rec.observe("g", 3.0)  # folds into the gauge only
+        assert rec.dump()["gauges"]["g"]["last"] == 3.0
+        assert "series" not in rec.dump()
+
+    def test_series_point_creates_and_appends(self):
+        rec = SeriesRecorder()
+        rec.series_point("a", 1.0, 10, kind="counter")
+        rec.series_point("a", 2.0, 20)
+        rec.series_point("b", 1.0, 5)
+        assert rec.series_names() == ["a", "b"]
+        assert rec.series("a").kind == "counter"
+        assert rec.series("a").points == [(1.0, 10.0), (2.0, 20.0)]
+        assert rec.series("missing") is None
+
+    def test_mark_snapshots_prefixed_counters_on_cadence(self):
+        rec = SeriesRecorder(SeriesConfig(interval=1.0))
+        rec.count("serve.requests", 5)
+        rec.count("unrelated.counter", 99)
+        rec.series_mark(0.0)
+        rec.series_mark(0.5)  # within interval: rejected
+        rec.count("serve.requests", 5)
+        rec.series_mark(1.0)  # accepted
+        series = rec.series("serve.requests")
+        assert series.kind == "counter"
+        assert series.points == [(0.0, 5.0), (1.0, 10.0)]
+        assert rec.series("unrelated.counter") is None
+
+    def test_observe_feeds_gauge_and_histogram(self):
+        rec = SeriesRecorder()
+        for v in (0.1, 0.2, 0.3):
+            rec.observe("serve.latency_s", v)
+        assert rec.histogram("serve.latency_s").count == 3
+        gauge = rec.dump()["gauges"]["serve.latency_s"]
+        assert gauge["count"] == 3
+        assert gauge["max"] == 0.3
+
+    def test_dump_and_artifact_schema(self):
+        rec = SeriesRecorder()
+        rec.count("serve.requests", 3)
+        rec.series_point("x", 1.0, 2.0)
+        rec.observe("lat", 0.5)
+        dump = rec.dump()
+        assert set(dump) >= {"counters", "timers", "gauges",
+                             "series", "histograms", "manifest"}
+        artifact = rec.series_artifact(final=True)
+        assert artifact["schema"] == SERIES_SCHEMA
+        assert artifact["final"] is True
+        assert "x" in artifact["series"]
+        assert "lat" in artifact["histograms"]
+        assert load_series_artifact(artifact)["schema"] == SERIES_SCHEMA
+
+    def test_load_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            load_series_artifact({"schema": "repro-bench/1"})
+        with pytest.raises(ValueError):
+            load_series_artifact({})
+
+    def test_memory_bounded_under_long_run(self):
+        rec = SeriesRecorder(SeriesConfig(capacity=64))
+        for i in range(10_000):
+            rec.series_point("x", float(i), i, kind="counter")
+        series = rec.series("x")
+        assert len(series) == 64
+        assert series.dropped == 10_000 - 64
+
+
+class TestSnapshotHandoff:
+    def test_write_snapshot_atomic_and_loadable(self, tmp_path):
+        path = str(tmp_path / "series.json")
+        rec = SeriesRecorder()
+        rec.series_point("x", 1.0, 2.0)
+        rec.write_snapshot(path, final=False)
+        data = load_series_artifact(json.loads(open(path).read()))
+        assert data["final"] is False
+        assert not (tmp_path / "series.json.tmp").exists()
+
+    def test_finalize_marks_final(self, tmp_path):
+        path = str(tmp_path / "series.json")
+        rec = SeriesRecorder(SeriesConfig(snapshot_path=path))
+        rec.series_point("x", 1.0, 2.0)
+        rec.finalize()
+        assert json.loads(open(path).read())["final"] is True
+
+    def test_maybe_snapshot_noop_without_path(self):
+        rec = SeriesRecorder()
+        assert rec.maybe_snapshot() is False
+
+    def test_maybe_snapshot_throttled(self, tmp_path):
+        path = str(tmp_path / "series.json")
+        rec = SeriesRecorder(
+            SeriesConfig(snapshot_path=path, snapshot_min_interval_s=3600)
+        )
+        assert rec.maybe_snapshot() is True
+        assert rec.maybe_snapshot() is False  # within the throttle
+
+
+class TestInstrumentedProducers:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return grid_problem(4, num_chunks=3)
+
+    def test_dual_ascent_emits_convergence_series(self, problem):
+        rec = SeriesRecorder()
+        with use_recorder(rec):
+            solve_approximation(problem)
+        for name in ("dual_ascent.objective", "dual_ascent.frozen",
+                     "dual_ascent.admins", "dual_ascent.unserved"):
+            series = rec.series(name)
+            assert series is not None and len(series) > 0, name
+        # Monotone virtual time across per-chunk solves, monotone
+        # values for the counter-kind census series.
+        for name in rec.series_names():
+            times = [t for t, _ in rec.series(name).points]
+            assert times == sorted(times), name
+            if rec.series(name).kind == "counter":
+                values = [v for _, v in rec.series(name).points]
+                assert values == sorted(values), name
+
+    def test_distributed_protocol_emits_tick_series(self, problem):
+        from repro.distributed import solve_distributed
+
+        rec = SeriesRecorder()
+        with use_recorder(rec):
+            solve_distributed(problem)
+        for name in ("protocol.done", "protocol.messages",
+                     "protocol.online_nodes"):
+            series = rec.series(name)
+            assert series is not None and len(series) > 0, name
+            times = [t for t, _ in series.points]
+            assert times == sorted(times), name
+
+    def test_serve_emits_series_and_histograms(self, problem):
+        from repro.serve import ZipfWorkload, serve_placement
+
+        placement = solve_approximation(problem)
+        rec = SeriesRecorder()
+        with use_recorder(rec):
+            serve_placement(
+                placement, ZipfWorkload(seed=3), 2000, policy="cheapest"
+            )
+        assert rec.histogram("serve.latency_s").count == 2000
+        assert rec.histogram("serve.queue_delay_s") is not None
+        requests = rec.series("serve.requests")
+        assert requests is not None and requests.kind == "counter"
+        assert requests.last[1] == 2000.0
+
+    def test_sweep_emits_progress_series(self):
+        from repro.sweep import SweepGrid, run_sweep
+
+        grid = SweepGrid(
+            topologies=("grid:3",),
+            workloads=("uniform", "zipf"),
+            policies=("cheapest",),
+            seeds=(1,),
+            requests=200,
+        )
+        rec = SeriesRecorder()
+        with use_recorder(rec):
+            run_sweep(grid, workers=1, manifest_extra={"created_unix": 0})
+        done = rec.series("sweep.cells_done")
+        assert done is not None and done.kind == "counter"
+        assert done.last[1] == 2.0
+        assert rec.series("sweep.cell_gini") is not None
+
+
+class TestDeterminismWithSeries:
+    """Enabling telemetry must never change what a run computes."""
+
+    def test_serve_report_byte_identical_with_series(self):
+        from repro.serve import ZipfWorkload, serve_placement
+
+        placement = solve_approximation(grid_problem(4, num_chunks=3))
+
+        def run(recorder):
+            with use_recorder(recorder):
+                return serve_placement(
+                    placement,
+                    ZipfWorkload(seed=5),
+                    200_000,
+                    policy="least-loaded",
+                ).to_json()
+
+        baseline = run(NullRecorder())
+        with_series = run(SeriesRecorder())
+        assert with_series == baseline
+
+        # And with bounded telemetry memory: every ring respects its
+        # configured capacity even over 200k requests.
+        recorder = SeriesRecorder(SeriesConfig(capacity=256))
+        assert run(recorder) == baseline
+        for name in recorder.series_names():
+            assert len(recorder.series(name)) <= 256, name
+        hist = recorder.histogram("serve.latency_s")
+        assert hist.count == 200_000
+        assert hist.bucket_count <= recorder.config.max_buckets
+
+    def test_solve_placement_identical_with_series(self):
+        problem = grid_problem(5, num_chunks=4)
+        baseline = solve_approximation(problem)
+        with use_recorder(SeriesRecorder()):
+            with_series = solve_approximation(problem)
+        assert [c.caches for c in with_series.chunks] == [
+            c.caches for c in baseline.chunks
+        ]
+        assert with_series.loads() == baseline.loads()

@@ -86,6 +86,32 @@ class TestRingBuffer:
         assert other["retained_events"] == 4
         assert other["dropped_events"] == 5
 
+    def test_drop_accounting_in_process_metadata(self):
+        # Perfetto hides otherData, so the drop counters also ride on
+        # the process_name metadata event, visible in the UI itself.
+        tr = Tracer(capacity=4)
+        for i in range(9):
+            tr.instant(f"e{i}")
+        process = tr.export()["traceEvents"][0]
+        assert process["name"] == "process_name"
+        assert process["args"]["dropped_events"] == 5
+        assert process["args"]["retained_events"] == 4
+
+    def test_write_warns_on_stderr_when_dropped(self, tmp_path, capsys):
+        tr = Tracer(capacity=4)
+        for i in range(9):
+            tr.instant(f"e{i}")
+        tr.write(str(tmp_path / "trace.json"), manifest={})
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "dropped the 5 oldest" in captured.err
+
+    def test_write_silent_without_drops(self, tmp_path, capsys):
+        tr = Tracer(capacity=10)
+        tr.instant("only")
+        tr.write(str(tmp_path / "trace.json"), manifest={})
+        assert capsys.readouterr().err == ""
+
 
 class TestChromeExport:
     REQUIRED = {"name", "ph", "ts", "pid", "tid"}
