@@ -1,0 +1,65 @@
+"""Adaptive control policies: what to do about a dirty chunk.
+
+The controller measures per-chunk demand drift each epoch
+(:func:`repro.adaptive.signals.chunk_drift`) and classifies chunks
+against two thresholds:
+
+* drift < ``dirty_threshold`` — clean: the placement still matches
+  demand; never touched (the quiescence invariant rides on this).
+* ``dirty_threshold`` ≤ drift < ``resolve_threshold`` — *moderately*
+  dirty: worth bounded local repair (cache/evict moves that provably
+  never worsen cost, :mod:`repro.adaptive.moves`).
+* drift ≥ ``resolve_threshold`` — *heavily* dirty: local repair is
+  unlikely to catch up, so the chunk is re-solved from scratch with one
+  Algorithm-1 iteration (:func:`repro.online.reoptimize_chunk`).
+
+An :class:`AdaptivePolicy` decides which of the two mechanisms are
+armed; the four registered policies are the full ablation grid.
+``static`` observes but never acts — the experimental control arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Classification outcomes for one chunk in one epoch.
+ACTION_NONE = "none"
+ACTION_MOVES = "moves"
+ACTION_RESOLVE = "resolve"
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Arms the local-move and/or re-solve mechanisms."""
+
+    name: str
+    use_moves: bool
+    use_resolve: bool
+
+    def classify(
+        self,
+        drift: float,
+        dirty_threshold: float,
+        resolve_threshold: float,
+    ) -> str:
+        """Map one chunk's drift to the action this policy takes."""
+        if self.use_resolve and drift >= resolve_threshold:
+            return ACTION_RESOLVE
+        if self.use_moves and drift >= dirty_threshold:
+            return ACTION_MOVES
+        return ACTION_NONE
+
+
+STATIC = AdaptivePolicy(name="static", use_moves=False, use_resolve=False)
+MOVES_ONLY = AdaptivePolicy(name="moves-only", use_moves=True, use_resolve=False)
+RESOLVE_ONLY = AdaptivePolicy(
+    name="resolve-only", use_moves=False, use_resolve=True
+)
+HYBRID = AdaptivePolicy(name="hybrid", use_moves=True, use_resolve=True)
+
+#: CLI name → policy (``repro adapt --policy`` / ``repro list``).
+ADAPTIVE_POLICIES: Dict[str, AdaptivePolicy] = {
+    policy.name: policy
+    for policy in (STATIC, MOVES_ONLY, RESOLVE_ONLY, HYBRID)
+}

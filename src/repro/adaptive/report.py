@@ -1,0 +1,199 @@
+"""The :class:`AdaptiveReport`: what a closed-loop run did and bought.
+
+One JSON-safe, byte-deterministic document (schema ``repro-adaptive/1``)
+per controller run: the per-epoch ledger (observed demand priced under
+the adaptive placement vs the frozen one-shot static placement, the
+adaptation spend, served-load fairness, drift and dirty-chunk census)
+plus every accepted move.  The headline figures are the two accumulated
+costs — the adaptive side **includes** its adaptation spend (replica
+transfers and re-solve dissemination), so "adaptive beats static" is an
+honest, all-in comparison.
+
+Everything derives from simulation state and seeded RNGs; two runs of
+one configuration serialize to identical bytes (asserted in the tests,
+relied on by the sweep's worker-count-independence contract).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+ADAPTIVE_SCHEMA = "repro-adaptive/1"
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One accepted local move."""
+
+    epoch: int
+    kind: str
+    node: str
+    chunk: int
+    gain: float
+    transfer_cost: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "node": self.node,
+            "chunk": self.chunk,
+            "gain": self.gain,
+            "transfer_cost": self.transfer_cost,
+        }
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Ledger line for one served epoch."""
+
+    epoch: int
+    requests: int
+    adaptive_cost: float
+    static_cost: float
+    adaptation_cost: float
+    served_gini: float
+    drift_max: float
+    dirty_chunks: int
+    moves_considered: int
+    moves_accepted: int
+    resolves: int
+    resolves_reverted: int
+    churned_nodes: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "requests": self.requests,
+            "adaptive_cost": self.adaptive_cost,
+            "static_cost": self.static_cost,
+            "adaptation_cost": self.adaptation_cost,
+            "served_gini": self.served_gini,
+            "drift_max": self.drift_max,
+            "dirty_chunks": self.dirty_chunks,
+            "moves_considered": self.moves_considered,
+            "moves_accepted": self.moves_accepted,
+            "resolves": self.resolves,
+            "resolves_reverted": self.resolves_reverted,
+            "churned_nodes": list(self.churned_nodes),
+        }
+
+
+@dataclass(frozen=True)
+class AdaptiveReport:
+    """Summary of one adaptive control-loop run."""
+
+    workload: str
+    adaptive_policy: str
+    selection_policy: str
+    algorithm: str
+    epochs: int
+    epoch_requests: int
+    warmup_epochs: int
+    accumulated_adaptive_cost: float
+    accumulated_static_cost: float
+    total_adaptation_cost: float
+    total_moves: int
+    total_resolves: int
+    final_copies: int
+    epoch_records: Tuple[EpochRecord, ...] = ()
+    move_records: Tuple[MoveRecord, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (schema ``repro-adaptive/1``), stable order."""
+        return {
+            "schema": ADAPTIVE_SCHEMA,
+            "workload": self.workload,
+            "adaptive_policy": self.adaptive_policy,
+            "selection_policy": self.selection_policy,
+            "algorithm": self.algorithm,
+            "epochs": self.epochs,
+            "epoch_requests": self.epoch_requests,
+            "warmup_epochs": self.warmup_epochs,
+            "accumulated_adaptive_cost": self.accumulated_adaptive_cost,
+            "accumulated_static_cost": self.accumulated_static_cost,
+            "total_adaptation_cost": self.total_adaptation_cost,
+            "total_moves": self.total_moves,
+            "total_resolves": self.total_resolves,
+            "final_copies": self.final_copies,
+            "epoch_records": [r.to_dict() for r in self.epoch_records],
+            "move_records": [m.to_dict() for m in self.move_records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """:meth:`to_dict` as JSON; byte-identical across same-seed runs."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "AdaptiveReport":
+        """Inverse of :meth:`to_dict` (round-trip tested)."""
+        fields = {
+            k: v
+            for k, v in data.items()
+            if k not in ("schema", "epoch_records", "move_records")
+        }
+        fields["epoch_records"] = tuple(
+            EpochRecord(
+                **{
+                    **r,
+                    "churned_nodes": tuple(r.get("churned_nodes", ())),
+                }
+            )
+            for r in data.get("epoch_records", ())
+        )
+        fields["move_records"] = tuple(
+            MoveRecord(**m) for m in data.get("move_records", ())
+        )
+        return AdaptiveReport(**fields)
+
+    @property
+    def savings(self) -> float:
+        """Static minus adaptive accumulated cost (positive = win)."""
+        return self.accumulated_static_cost - self.accumulated_adaptive_cost
+
+    def render(self) -> str:
+        """Aligned per-epoch ledger plus the headline for the CLI."""
+        headers = (
+            "epoch", "requests", "adaptive", "static", "adapt-spend",
+            "gini", "drift", "dirty", "moves", "resolves",
+        )
+        rows = [
+            (
+                str(r.epoch),
+                str(r.requests),
+                f"{r.adaptive_cost:.1f}",
+                f"{r.static_cost:.1f}",
+                f"{r.adaptation_cost:.1f}",
+                f"{r.served_gini:.3f}",
+                f"{r.drift_max:.3f}",
+                str(r.dirty_chunks),
+                f"{r.moves_accepted}/{r.moves_considered}",
+                str(r.resolves),
+            )
+            for r in self.epoch_records
+        ]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            for row in rows
+        )
+        lines.append("")
+        lines.append(
+            f"policy {self.adaptive_policy} ({self.workload} workload, "
+            f"{self.selection_policy} selection): "
+            f"adaptive {self.accumulated_adaptive_cost:.1f} vs "
+            f"static {self.accumulated_static_cost:.1f} "
+            f"(savings {self.savings:.1f}; "
+            f"{self.total_moves} moves, {self.total_resolves} re-solves, "
+            f"adaptation spend {self.total_adaptation_cost:.1f})"
+        )
+        return "\n".join(lines)

@@ -440,9 +440,65 @@ def check_serve_equivalence(
     )
 
 
+# ----------------------------------------------------------------------
+# Adaptive control plane: local moves must never worsen total cost
+# ----------------------------------------------------------------------
+def check_adaptive_move(
+    *,
+    move: str,
+    node: Node,
+    chunk: int,
+    tracked_before: float,
+    tracked_after: float,
+    fresh_before: float,
+    fresh_after: float,
+    transfer_cost: float,
+    context: str,
+) -> None:
+    """Assert an accepted adaptive move is priced honestly and pays off.
+
+    The control plane evaluates candidate moves against its *live*
+    incrementally-patched cost model; this check re-prices both sides of
+    an accepted move with values from a fresh cost model (the caller
+    recomputes them from scratch) and asserts (a) the tracked totals
+    agree with the fresh ones — the incremental patches didn't drift —
+    and (b) the move never worsens demand-weighted total cost once its
+    one-time transfer cost is charged (``docs/ADAPTIVE.md``).
+    """
+    rule = "adaptive-move"
+    if transfer_cost < 0:
+        _fail(
+            rule,
+            f"{context}: {move} of chunk {chunk} at {node!r} has negative "
+            f"transfer cost {transfer_cost}",
+        )
+    if abs(tracked_before - fresh_before) > _tol(fresh_before):
+        _fail(
+            rule,
+            f"{context}: tracked pre-move cost {tracked_before} diverges "
+            f"from fresh recomputation {fresh_before} "
+            f"({move} of chunk {chunk} at {node!r})",
+        )
+    if abs(tracked_after - fresh_after) > _tol(fresh_after):
+        _fail(
+            rule,
+            f"{context}: tracked post-move cost {tracked_after} diverges "
+            f"from fresh recomputation {fresh_after} "
+            f"({move} of chunk {chunk} at {node!r})",
+        )
+    if fresh_after + transfer_cost > fresh_before + _tol(fresh_before):
+        _fail(
+            rule,
+            f"{context}: accepted {move} of chunk {chunk} at {node!r} "
+            f"worsens cost: before={fresh_before} "
+            f"after={fresh_after} transfer={transfer_cost}",
+        )
+
+
 __all__ = [
     "ENV_VAR",
     "SERVE_EQUIVALENCE_MAX_REQUESTS",
+    "check_adaptive_move",
     "check_chunk_commit",
     "check_dual_solution",
     "check_incremental_cost_rows",

@@ -48,6 +48,14 @@ and write the merged repro-sweep/1 artifact::
         --policies cheapest,p2c --seeds 1,2,3 -o SWEEP.json
     repro sweep --topology grid:4 --topology random:30 --workers 4
 
+Run the closed-loop adaptive control plane against a drifting workload
+(compares accumulated cost with the frozen one-shot placement)::
+
+    repro adapt --grid 4 --chunks 4 --capacity 2 --epoch-requests 1200
+    repro adapt --grid 4 --workload shift --churn 2:5 --churn 3:10
+    repro serve --grid 4 --requests 7200 --adaptive --workload zipf
+    repro sweep --topology grid:4 --adaptive off,hybrid --epochs 4
+
 Check the architecture/hygiene/determinism rules (and optionally types)::
 
     repro lint
@@ -168,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scenario", action="append", metavar="NAME",
         help="run only the named suite scenario (small/medium/large/"
-        "serve-scale/dist-faults; repeatable; default all)",
+        "serve-scale/dist-faults/adaptive-drift; repeatable; default all)",
     )
     bench.add_argument(
         "--nodes", type=int, default=None, metavar="N",
@@ -187,8 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--quick", action="store_true",
-        help="CI smoke mode: the small, serve-scale and dist-faults "
-        "scenarios, one repeat",
+        help="CI smoke mode: the small, serve-scale, dist-faults and "
+        "adaptive-drift scenarios, one repeat",
     )
     bench.add_argument(
         "--max-full-rebuilds", type=int, default=None, metavar="N",
@@ -203,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--threshold", type=float, default=25.0, metavar="PCT",
         help="regression threshold for --compare, in percent (default 25)",
+    )
+    bench.add_argument(
+        "--min-abs-seconds", type=float, default=None, metavar="S",
+        help="absolute wall/timer noise floor for --compare: deltas below "
+        "this many seconds never regress on their own (default 0.01; "
+        "counters stay exact regardless)",
     )
     bench.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -277,7 +291,131 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace of the solve + replay and "
         "write it as Chrome trace-event JSON",
     )
+    serve.add_argument(
+        "--adaptive", nargs="?", const="hybrid", default=None,
+        metavar="POLICY",
+        help="run the closed adaptive control loop instead of a one-shot "
+        "replay: serve --epochs windows of --epoch-requests requests, "
+        "re-optimizing the placement between epochs under POLICY "
+        "(default hybrid; see `repro list`)",
+    )
+    serve.add_argument(
+        "--epochs", type=int, default=6, metavar="N",
+        help="control epochs with --adaptive (default 6)",
+    )
+    serve.add_argument(
+        "--epoch-requests", type=int, default=None, metavar="N",
+        help="requests per epoch with --adaptive "
+        "(default: --requests / --epochs)",
+    )
     _add_series_flags(serve, "solve + replay")
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="run the closed-loop adaptive control plane against a "
+        "drifting workload and compare it with the static placement",
+    )
+    group = adapt.add_mutually_exclusive_group(required=True)
+    group.add_argument("--grid", type=int, metavar="SIDE",
+                       help="SIDE x SIDE grid network")
+    group.add_argument("--nodes", type=int, metavar="N",
+                       help="connected random network with N nodes")
+    adapt.add_argument("--chunks", type=int, default=5)
+    adapt.add_argument("--capacity", type=int, default=5)
+    adapt.add_argument(
+        "--seed", type=int, default=2017,
+        help="seed for the topology, the workload stream, and the engine",
+    )
+    adapt.add_argument(
+        "--workload", default="shift", metavar="NAME",
+        help="request workload generator (see `repro list`; default "
+        "shift — stationary workloads adapt to nothing by design)",
+    )
+    adapt.add_argument(
+        "--policy", default="cheapest", metavar="NAME",
+        help="replica-selection policy for the replays (default cheapest)",
+    )
+    adapt.add_argument(
+        "--adaptive-policy", default="hybrid", metavar="NAME",
+        help="adaptive control policy: static, moves-only, resolve-only, "
+        "or hybrid (default hybrid)",
+    )
+    adapt.add_argument(
+        "--epochs", type=int, default=6, metavar="N",
+        help="control epochs (default 6)",
+    )
+    adapt.add_argument(
+        "--epoch-requests", type=int, default=1200, metavar="N",
+        help="requests served per epoch (default 1200)",
+    )
+    adapt.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="observation-only epochs before the demand reference is "
+        "frozen (default 1)",
+    )
+    adapt.add_argument(
+        "--alpha", type=float, default=0.5, metavar="A",
+        help="EWMA smoothing of the demand estimator, in (0, 1] "
+        "(default 0.5)",
+    )
+    adapt.add_argument(
+        "--dirty-threshold", type=float, default=0.1, metavar="D",
+        help="per-chunk drift at which local moves engage (default 0.1)",
+    )
+    adapt.add_argument(
+        "--resolve-threshold", type=float, default=0.3, metavar="D",
+        help="per-chunk drift at which a full re-solve engages "
+        "(default 0.3)",
+    )
+    adapt.add_argument(
+        "--max-moves", type=int, default=4, metavar="N",
+        help="accepted local moves per epoch (default 4)",
+    )
+    adapt.add_argument(
+        "--replacement", default="oldest-first", metavar="NAME",
+        help="replacement policy when a re-solve needs room "
+        "(default oldest-first; see `repro list`)",
+    )
+    adapt.add_argument(
+        "--churn", action="append", default=None, metavar="EPOCH:NODE",
+        help="wipe NODE's cache at the start of EPOCH, on both the "
+        "adaptive and the static side (repeatable)",
+    )
+    adapt.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="mean request arrivals per simulated second (default: the "
+        "workload's)",
+    )
+    adapt.add_argument(
+        "--shift-period", type=float, default=None, metavar="S",
+        help="popularity reshuffle period for the shift workload, in "
+        "simulated seconds (default: epoch duration = epoch-requests / "
+        "rate, one shift per epoch)",
+    )
+    adapt.add_argument(
+        "--engine", default="batched", choices=["batched", "per-request"],
+        help="replay engine for every epoch (default batched)",
+    )
+    adapt.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="probability each cache node is dead during replays "
+        "(default 0)",
+    )
+    adapt.add_argument(
+        "--json", action="store_true",
+        help="print the repro-adaptive/1 report as JSON instead of the "
+        "epoch ledger",
+    )
+    adapt.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="also write the repro-adaptive/1 JSON document to PATH",
+    )
+    adapt.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event trace of the whole control loop "
+        "and write it as Chrome trace-event JSON",
+    )
+    _add_series_flags(adapt, "control loop")
 
     sweep = sub.add_parser(
         "sweep",
@@ -323,6 +461,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine", default="batched", choices=["batched", "per-request"],
         help="replay engine for every cell (default batched)",
+    )
+    sweep.add_argument(
+        "--adaptive", default="off", metavar="A,B",
+        help="comma-separated adaptive axis: off and/or adaptive control "
+        "policies (static, moves-only, resolve-only, hybrid); adaptive "
+        "cells run the closed loop over --epochs windows (default off)",
+    )
+    sweep.add_argument(
+        "--epochs", type=int, default=4, metavar="N",
+        help="control epochs per adaptive cell (default 4)",
     )
     sweep.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -572,6 +720,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             SUITE_BY_NAME["small"],
             SUITE_BY_NAME["serve-scale"],
             SUITE_BY_NAME["dist-faults"],
+            SUITE_BY_NAME["adaptive-drift"],
         ]
     elif args.scenario:
         unknown = [name for name in args.scenario if name not in SUITE_BY_NAME]
@@ -622,7 +771,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"full-rebuild budget OK (<= {args.max_full_rebuilds})")
     if args.compare is not None:
         from repro.errors import ReproError
-        from repro.obs.compare import compare_bench, load_bench
+        from repro.obs.compare import (
+            DEFAULT_MIN_ABS_SECONDS,
+            compare_bench,
+            load_bench,
+        )
 
         try:
             baseline = load_bench(args.compare)
@@ -630,8 +783,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"cannot load baseline {args.compare}: {exc}",
                   file=sys.stderr)
             return 2
+        min_abs = (
+            DEFAULT_MIN_ABS_SECONDS
+            if args.min_abs_seconds is None
+            else args.min_abs_seconds
+        )
         comparison = compare_bench(
-            baseline, result, threshold_pct=args.threshold
+            baseline, result, threshold_pct=args.threshold,
+            min_abs_seconds=min_abs,
         )
         print()
         print(comparison.render())
@@ -680,6 +839,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         failure_rate=args.failure_rate, seed=args.seed, engine=args.engine
     )
     name = _ALGO_ALIASES.get(args.algorithm, args.algorithm)
+    if args.adaptive is not None:
+        return _serve_adaptive(args, problem, workload, config, label, name)
     with _maybe_series(args) as series_rec, \
             _maybe_trace(args.trace) as tracer:
         placement = run_algorithms(problem, [name])[name]
@@ -696,6 +857,163 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"workload {report.workload!r}, policy {report.policy!r}")
         print()
         print(report.render())
+    return 0
+
+
+def _serve_adaptive(
+    args: argparse.Namespace, problem, workload, config, label: str,
+    algorithm: str,
+) -> int:
+    """``repro serve --adaptive``: the closed loop instead of one replay."""
+    from repro.adaptive import ADAPTIVE_POLICIES, AdaptiveConfig, run_adaptive
+    from repro.errors import ProblemError
+
+    if algorithm != "Appx":
+        print("--adaptive re-solves with Algorithm 1; it requires "
+              "--algorithm appx", file=sys.stderr)
+        return 2
+    if args.adaptive not in ADAPTIVE_POLICIES:
+        print(f"unknown adaptive policy {args.adaptive!r}; "
+              f"choose from {sorted(ADAPTIVE_POLICIES)}", file=sys.stderr)
+        return 2
+    epoch_requests = args.epoch_requests
+    if epoch_requests is None:
+        epoch_requests = args.requests // max(args.epochs, 1)
+    try:
+        adaptive_config = AdaptiveConfig(
+            epochs=args.epochs,
+            epoch_requests=epoch_requests,
+            policy=args.adaptive,
+            selection_policy=args.policy,
+            serve=config,
+        )
+        with _maybe_series(args) as series_rec, \
+                _maybe_trace(args.trace) as tracer:
+            report = run_adaptive(problem, workload, adaptive_config)
+    except ProblemError as exc:
+        print(f"serve --adaptive: {exc}", file=sys.stderr)
+        return 2
+    _write_trace(tracer, args.trace)
+    _write_series(series_rec, args)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"adaptive ({args.adaptive}) on {label}: "
+              f"{args.epochs} epochs x {epoch_requests} requests, "
+              f"workload {report.workload!r}, policy {report.selection_policy!r}")
+        print()
+        print(report.render())
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    """``repro adapt``: the full-control closed loop with every knob."""
+    from repro.adaptive import ADAPTIVE_POLICIES, AdaptiveConfig, run_adaptive
+    from repro.errors import ProblemError
+    from repro.serve import SELECTION_POLICIES, WORKLOADS, ServeConfig
+
+    workload_cls = WORKLOADS.get(args.workload)
+    if workload_cls is None:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {sorted(WORKLOADS)}", file=sys.stderr)
+        return 2
+    if args.policy not in SELECTION_POLICIES:
+        print(f"unknown policy {args.policy!r}; "
+              f"choose from {sorted(SELECTION_POLICIES)}", file=sys.stderr)
+        return 2
+    if args.adaptive_policy not in ADAPTIVE_POLICIES:
+        print(f"unknown adaptive policy {args.adaptive_policy!r}; "
+              f"choose from {sorted(ADAPTIVE_POLICIES)}", file=sys.stderr)
+        return 2
+    if args.grid is not None:
+        problem = grid_problem(
+            args.grid, num_chunks=args.chunks, capacity=args.capacity
+        )
+        label = f"{args.grid}x{args.grid} grid"
+    else:
+        problem, _ = random_problem(
+            args.nodes, seed=args.seed, num_chunks=args.chunks,
+            capacity=args.capacity,
+        )
+        label = f"random network ({args.nodes} nodes, seed {args.seed})"
+
+    kwargs = {"seed": args.seed}
+    if args.rate is not None:
+        kwargs["rate"] = args.rate
+    if args.workload == "shift":
+        shift_period = args.shift_period
+        if shift_period is None:
+            # Default: the popularity reshuffles once per epoch — the
+            # drift the controller is built to chase.
+            rate = kwargs.get("rate", workload_cls(seed=args.seed).rate)
+            shift_period = (
+                args.epoch_requests / rate if rate > 0 else 60.0
+            )
+        kwargs["shift_period"] = shift_period
+    elif args.shift_period is not None:
+        print("--shift-period only applies to the shift workload",
+              file=sys.stderr)
+        return 2
+    try:
+        workload = workload_cls(**kwargs)
+    except TypeError as exc:
+        print(f"workload {args.workload!r} rejected its arguments: {exc}",
+              file=sys.stderr)
+        return 2
+
+    churn = []
+    for spec in args.churn or ():
+        parts = spec.split(":")
+        try:
+            if len(parts) != 2:
+                raise ValueError(spec)
+            churn.append((int(parts[0]), int(parts[1])))
+        except ValueError:
+            print(f"--churn expects EPOCH:NODE with integers, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        config = AdaptiveConfig(
+            epochs=args.epochs,
+            epoch_requests=args.epoch_requests,
+            policy=args.adaptive_policy,
+            warmup_epochs=args.warmup,
+            ewma_alpha=args.alpha,
+            dirty_threshold=args.dirty_threshold,
+            resolve_threshold=args.resolve_threshold,
+            max_moves_per_epoch=args.max_moves,
+            selection_policy=args.policy,
+            serve=ServeConfig(
+                failure_rate=args.failure_rate, seed=args.seed,
+                engine=args.engine,
+            ),
+            replacement=args.replacement,
+            churn_schedule=tuple(churn),
+        )
+        with _maybe_series(args) as series_rec, \
+                _maybe_trace(args.trace) as tracer:
+            report = run_adaptive(problem, workload, config)
+    except ProblemError as exc:
+        print(f"adapt: {exc}", file=sys.stderr)
+        return 2
+    _write_trace(tracer, args.trace)
+    _write_series(series_rec, args)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"adaptive ({args.adaptive_policy}) on {label}: "
+              f"{args.epochs} epochs x {args.epoch_requests} requests, "
+              f"workload {report.workload!r}, "
+              f"policy {report.selection_policy!r}")
+        print()
+        print(report.render())
+        if args.output is not None:
+            print(f"\nwrote {args.output}")
     return 0
 
 
@@ -726,6 +1044,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workloads=_split(args.workloads),
             policies=_split(args.policies),
             seeds=seeds,
+            adaptive=_split(args.adaptive),
+            epochs=args.epochs,
             algorithm=algorithm,
             requests=args.requests,
             rate=args.rate,
@@ -954,14 +1274,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_monitor(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "adapt":
+        return _cmd_adapt(args)
     if args.command == "list":
         # Imported lazily, like every serve touchpoint in this module.
+        from repro.adaptive.policy import ADAPTIVE_POLICIES
+        from repro.online.replacement import REPLACEMENT_POLICIES
         from repro.serve import SELECTION_POLICIES, WORKLOADS
 
         print("experiments:", ", ".join(sorted(REGISTRY)))
         print("algorithms:", ", ".join(sorted(_ALGO_ALIASES)))
         print("workloads:", ", ".join(sorted(WORKLOADS)))
         print("selection policies:", ", ".join(sorted(SELECTION_POLICIES)))
+        print("replacement policies:",
+              ", ".join(sorted(REPLACEMENT_POLICIES)))
+        print("adaptive policies:", ", ".join(sorted(ADAPTIVE_POLICIES)))
         return 0
     parser.print_help()
     return 1

@@ -278,6 +278,39 @@ class CostModel:
             row[node] += delta
             stack.extend(children.get(node, ()))
 
+    def affected_targets(self, source: Node, via: Node) -> frozenset:
+        """Targets of ``source`` whose PATH passes through ``via``.
+
+        The dirty region of a single-node occupancy change, as seen from
+        one source: exactly the entries of ``source``'s cost row that a
+        ``ΔS(via)`` shifts.  Under the ``"hops"`` policy this is the BFS
+        subtree below ``via`` (every target but the source itself when
+        ``via == source``, since ``c_ii`` stays 0); unreachable ``via``
+        affects nothing.  Under ``"contention"`` a storage change can
+        reroute paths, so the conservative answer is every reachable
+        target.  The adaptive move evaluator uses this to re-price only
+        the demand actually touched by a candidate move.
+        """
+        if via not in self.graph:
+            raise ProblemError(f"node {via!r} is not in the graph")
+        if self.path_policy != PATH_POLICY_HOPS:
+            return frozenset(
+                node for node in self._all_costs_from(source) if node != source
+            )
+        tree = self._hop_tree(source)
+        if via == source:
+            return frozenset(node for node in tree if node != source)
+        if via not in tree:
+            return frozenset()
+        children = self._children_of(source)
+        affected = []
+        stack = [via]
+        while stack:
+            node = stack.pop()
+            affected.append(node)
+            stack.extend(children.get(node, ()))
+        return frozenset(affected)
+
     def fairness_cost(self, node: Node) -> float:
         """Eq. 1 for ``node``, plus the weighted battery term (footnote 1)
         when a battery model is attached; ``inf`` for the producer."""

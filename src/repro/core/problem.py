@@ -148,6 +148,21 @@ class ProblemState:
             battery=self.battery,
             battery_weight=self.problem.battery_weight,
         )
+        # Dirty-region ledger: every node whose occupancy changed since
+        # the last drain.  The adaptive control plane reads this to
+        # bound re-evaluation to regions that actually moved; purely
+        # observational — nothing in the solver core consults it.
+        self._dirty_accum: set = set()
+
+    def peek_dirty_nodes(self) -> frozenset:
+        """Nodes whose occupancy changed since the last drain."""
+        return frozenset(self._dirty_accum)
+
+    def drain_dirty_nodes(self) -> frozenset:
+        """Return accumulated dirty nodes and reset the ledger."""
+        drained = frozenset(self._dirty_accum)
+        self._dirty_accum.clear()
+        return drained
 
     def can_cache(self, node: Node) -> bool:
         """Node has spare storage AND (if modelled) enough battery."""
@@ -191,6 +206,7 @@ class ProblemState:
                     "used": self.storage.used(node),
                 },
             )
+        self._dirty_accum.add(node)
         self.costs.invalidate(dirty_nodes=(node,))
 
     def evict(self, node: Node, chunk: int) -> None:
@@ -212,4 +228,5 @@ class ProblemState:
                     "used": self.storage.used(node),
                 },
             )
+        self._dirty_accum.add(node)
         self.costs.invalidate(dirty_nodes=(node,))

@@ -5,6 +5,7 @@ Each module exposes ``run(..., fast: bool = False) -> ExperimentResult``;
 """
 
 from repro.experiments import (
+    adaptive_drift,
     approximation_ratio,
     dist_faults,
     latency_model,
@@ -47,6 +48,7 @@ REGISTRY = {
     "fig8": fig8_accumulated_cost.run,
     "fig9": fig9_per_chunk.run,
     "table2": table2_messages.run,
+    "adaptive": adaptive_drift.run,
     "approx_ratio": approximation_ratio.run,
     "dist_faults": dist_faults.run,
     "online_churn": online_churn.run,

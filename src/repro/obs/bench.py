@@ -84,6 +84,11 @@ class BenchScenario:
     #: FaultPlane (loss + jitter + retransmission + one churn episode),
     #: reported as the ``DistFaults`` algorithm entry.  No serve section.
     faults_only: bool = False
+    #: Adaptive-control gate: run only the closed loop (``repro.adaptive``)
+    #: under a drifting shift workload, reported as the ``Adaptive``
+    #: algorithm entry.  Asserts the adaptive accumulated cost beats the
+    #: frozen static placement.  No serve section.
+    adaptive_only: bool = False
 
     def build(self):
         problem, _ = random_problem(
@@ -123,6 +128,12 @@ DEFAULT_SUITE = (
     # retransmission / duplicate counts as well as the wall-clock.
     # Sized so wall-clock noise stays under compare's 0.01 s floor.
     BenchScenario("dist-faults", 30, num_chunks=2, faults_only=True),
+    # Adaptive-control gate: the closed loop vs the frozen one-shot
+    # placement under popularity drift.  The win (savings > 0) is a hard
+    # assertion every run; the deterministic adaptive.* counters are
+    # pinned by --compare.
+    BenchScenario("adaptive-drift", 30, num_chunks=4, capacity=2,
+                  adaptive_only=True),
 )
 
 SUITE_BY_NAME = {scenario.name: scenario for scenario in DEFAULT_SUITE}
@@ -300,6 +311,86 @@ def bench_faults(
     )
 
 
+#: Shape of the ``adaptive-drift`` scenario: a shift workload whose
+#: popularity reshuffles every two control epochs (the EWMA estimator
+#: lags by roughly one epoch, so a one-epoch shift period would leave
+#: nothing to chase), served over 6 epochs of 800 requests.
+ADAPTIVE_BENCH_EPOCHS = 6
+ADAPTIVE_BENCH_EPOCH_REQUESTS = 800
+ADAPTIVE_BENCH_RATE = 4.0
+ADAPTIVE_BENCH_SHIFT_PERIOD = 400.0
+
+
+def bench_adaptive(
+    problem, scenario: BenchScenario, repeats: int = 1, series: bool = False
+) -> dict:
+    """Benchmark the closed adaptive control loop under drift.
+
+    Runs :func:`repro.adaptive.run_adaptive` on a seeded shift workload;
+    shaped like an algorithm entry (name ``Adaptive``) so ``--compare``
+    gates the wall-clock and the deterministic ``adaptive.*`` counters
+    (moves, resolves, dirty chunks) with the stock machinery.  The
+    scenario must *win* — adaptive accumulated cost below the frozen
+    static placement's — which is asserted every run, not just under
+    compare: losing to the placement you started from means the
+    controller regressed.
+    """
+    from repro.adaptive import AdaptiveConfig, run_adaptive
+    from repro.errors import SimulationError
+    from repro.serve.workloads import WORKLOADS
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    workload = WORKLOADS["shift"](
+        seed=scenario.seed,
+        rate=ADAPTIVE_BENCH_RATE,
+        exponent=1.2,
+        shift_period=ADAPTIVE_BENCH_SHIFT_PERIOD,
+    )
+    config = AdaptiveConfig(
+        epochs=ADAPTIVE_BENCH_EPOCHS,
+        epoch_requests=ADAPTIVE_BENCH_EPOCH_REQUESTS,
+    )
+    best_wall: Optional[float] = None
+    best_recorder: Optional[Recorder] = None
+    best_report = None
+    for _ in range(repeats):
+        recorder = _make_recorder(series)
+        with use_recorder(recorder):
+            start = time.perf_counter()
+            report = run_adaptive(problem, workload, config)
+            wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best_recorder = recorder
+            best_report = report
+    if best_report.savings <= 0:
+        raise SimulationError(
+            f"adaptive-drift bench lost to the static placement: "
+            f"adaptive {best_report.accumulated_adaptive_cost:.1f} vs "
+            f"static {best_report.accumulated_static_cost:.1f} "
+            "(controller regression?)"
+        )
+    return _entry_from(
+        best_recorder,
+        series,
+        wall_seconds=best_wall,
+        adaptive={
+            "workload": best_report.workload,
+            "policy": best_report.adaptive_policy,
+            "epochs": best_report.epochs,
+            "epoch_requests": best_report.epoch_requests,
+            "accumulated_adaptive_cost":
+                best_report.accumulated_adaptive_cost,
+            "accumulated_static_cost": best_report.accumulated_static_cost,
+            "savings": best_report.savings,
+            "total_adaptation_cost": best_report.total_adaptation_cost,
+            "total_moves": best_report.total_moves,
+            "total_resolves": best_report.total_resolves,
+        },
+    )
+
+
 def run_bench(
     scenarios: Sequence[BenchScenario] = DEFAULT_SUITE,
     algorithms: Iterable[str] = DEFAULT_BENCH_ALGORITHMS,
@@ -322,6 +413,16 @@ def run_bench(
                 "network": scenario.network_info(),
                 "algorithms": {
                     "DistFaults": bench_faults(
+                        problem, scenario, repeats=repeats, series=series
+                    )
+                },
+            }
+        elif scenario.adaptive_only:
+            entry = {
+                "name": scenario.name,
+                "network": scenario.network_info(),
+                "algorithms": {
+                    "Adaptive": bench_adaptive(
                         problem, scenario, repeats=repeats, series=series
                     )
                 },
@@ -433,7 +534,11 @@ def render_bench(result: dict) -> str:
         network = scenario["network"]
         rows = []
         for name, outcome in scenario["algorithms"].items():
-            placement = outcome["placement"]
+            placement = outcome.get("placement")
+            if placement is None:
+                # Adaptive entries carry a control-loop summary instead
+                # of a placement; rendered as their own line below.
+                continue
             counters: Dict[str, float] = outcome["counters"]
             rows.append(
                 [
@@ -462,6 +567,20 @@ def render_bench(result: dict) -> str:
         else:
             # serve_only scenario — no solver table, just the header.
             parts.append(f"{title}\n{'=' * len(title)}")
+        adaptive_entry = scenario["algorithms"].get("Adaptive")
+        if adaptive_entry and "adaptive" in adaptive_entry:
+            summary = adaptive_entry["adaptive"]
+            parts.append(
+                f"adaptive ({summary['workload']}/{summary['policy']}): "
+                f"{summary['epochs']} epochs x "
+                f"{summary['epoch_requests']} requests in "
+                f"{adaptive_entry['wall_seconds']:.3f} s wall; "
+                f"savings {summary['savings']:,.1f} "
+                f"(adaptation spend "
+                f"{summary['total_adaptation_cost']:,.1f}, "
+                f"{summary['total_moves']} moves, "
+                f"{summary['total_resolves']} resolves)"
+            )
         serve = scenario.get("serve")
         if serve:
             report = serve["report"]

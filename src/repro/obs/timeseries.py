@@ -76,6 +76,7 @@ DEFAULT_COUNTER_PREFIXES: Tuple[str, ...] = (
     "faults.",
     "serve.",
     "sweep.",
+    "adaptive.",
 )
 
 

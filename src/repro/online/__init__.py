@@ -4,7 +4,11 @@ and an incremental controller (the paper's Sec. VI future work)."""
 from repro.online.controller import (
     OnlineFairCache,
     OnlineTrace,
+    ReoptimizeResult,
     Snapshot,
+    make_room,
+    reoptimize_chunk,
+    replica_counts,
     solve_online,
 )
 from repro.online.events import (
@@ -17,6 +21,7 @@ from repro.online.events import (
     publish,
 )
 from repro.online.replacement import (
+    REPLACEMENT_POLICIES,
     MostReplicated,
     NeverEvict,
     OldestFirst,
@@ -33,10 +38,15 @@ __all__ = [
     "OnlineTrace",
     "OnlineWorkload",
     "PUBLISH",
+    "REPLACEMENT_POLICIES",
+    "ReoptimizeResult",
     "ReplacementPolicy",
     "Snapshot",
     "expire",
     "generate_workload",
+    "make_room",
     "publish",
+    "reoptimize_chunk",
+    "replica_counts",
     "solve_online",
 ]

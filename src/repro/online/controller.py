@@ -13,7 +13,7 @@ energy stays spent).  When the network is storage-saturated, a pluggable
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Mapping, Optional, Set
 
 from repro.errors import InvariantError, ProblemError
 from repro.analysis import contracts
@@ -28,6 +28,99 @@ from repro.online.events import EXPIRE, PUBLISH, OnlineEvent
 from repro.online.replacement import OldestFirst, ReplacementPolicy
 
 Node = Hashable
+
+
+@dataclass(frozen=True)
+class ReoptimizeResult:
+    """Outcome of one :func:`reoptimize_chunk` call."""
+
+    placement: ChunkPlacement
+    evictions: int
+
+
+def replica_counts(state: ProblemState) -> Dict[int, int]:
+    """Chunk → network-wide copy count, from the live storage state."""
+    counts: Dict[int, int] = {}
+    for node in state.storage.nodes():
+        for chunk in state.storage.chunks_at(node):
+            counts[chunk] = counts.get(chunk, 0) + 1
+    return counts
+
+
+def make_room(
+    state: ProblemState,
+    policy: ReplacementPolicy,
+    publish_order: Mapping[int, int],
+    replicas: Optional[Dict[int, int]] = None,
+) -> int:
+    """Ask the policy to free one slot per full node (best effort).
+
+    Returns the number of evictions performed.  Module-level so any
+    re-optimization caller (the online controller, the adaptive control
+    plane) can share the exact same room-making semantics.  ``replicas``
+    overrides the census (tests inject drifted counts through it); by
+    default it is computed fresh from the live storage.
+    """
+    if replicas is None:
+        replicas = replica_counts(state)
+    sanitize = contracts.sanitize_enabled()
+    freed = 0
+    for node in state.problem.clients:
+        if state.storage.available(node) > 0:
+            continue
+        victim = policy.choose_victim(state, node, dict(publish_order), replicas)
+        if victim is not None:
+            state.evict(node, victim)
+            freed += 1
+            # The victim came off ``node``'s shelf, so it must have a
+            # positive replica count; defaulting a missing entry (the
+            # old ``.get(victim, 1)``) would mask a policy returning
+            # a chunk the node never held and let counts go negative
+            # when the same victim is evicted from several full nodes.
+            replicas[victim] = replicas.get(victim, 0) - 1
+            if sanitize and replicas[victim] < 0:
+                raise InvariantError(
+                    "online.replicas",
+                    f"replica count of chunk {victim} went negative "
+                    f"after eviction from node {node!r} — the "
+                    "replacement policy returned a chunk the node "
+                    "did not hold",
+                )
+    return freed
+
+
+def reoptimize_chunk(
+    state: ProblemState,
+    chunk: int,
+    config: Optional[ApproximationConfig] = None,
+    policy: Optional[ReplacementPolicy] = None,
+    publish_order: Optional[Mapping[int, int]] = None,
+) -> ReoptimizeResult:
+    """One Algorithm-1 iteration for ``chunk`` against the live state.
+
+    The re-optimization entry point shared by the online controller's
+    PUBLISH path and the adaptive control plane's scoped re-solves:
+    build the ConFL instance from the current storage, run the dual
+    ascent, and commit.  When nobody volunteers and a replacement
+    ``policy`` is given, one :func:`make_room` round frees a slot per
+    full node and the ascent retries once.  The caller must ensure
+    ``chunk`` currently has no copies (evict them first when re-solving
+    an already-placed chunk).
+    """
+    resolved = config or ApproximationConfig()
+    instance = build_confl_instance(state)
+    result = dual_ascent(instance, resolved.dual)
+    evictions = 0
+    if not result.admins and policy is not None:
+        # Nobody volunteered — often because the well-placed nodes are
+        # full and no longer facilities.  This is where replacement
+        # earns its keep: free one slot per full node and retry once.
+        evictions = make_room(state, policy, publish_order or {})
+        if evictions > 0:
+            instance = build_confl_instance(state)
+            result = dual_ascent(instance, resolved.dual)
+    placement = commit_chunk(state, chunk, result.admins)
+    return ReoptimizeResult(placement=placement, evictions=evictions)
 
 
 @dataclass(frozen=True)
@@ -123,16 +216,15 @@ class OnlineFairCache:
         self._next_seq += 1
         self._live.add(chunk)
 
-        instance = build_confl_instance(self.state)
-        result = dual_ascent(instance, self.config.dual)
-        if not result.admins:
-            # Nobody volunteered — often because the well-placed nodes are
-            # full and no longer facilities.  This is where replacement
-            # earns its keep: free one slot per full node and retry once.
-            if self._make_room() > 0:
-                instance = build_confl_instance(self.state)
-                result = dual_ascent(instance, self.config.dual)
-        placement = commit_chunk(self.state, chunk, result.admins)
+        result = reoptimize_chunk(
+            self.state,
+            chunk,
+            self.config,
+            policy=self.policy,
+            publish_order=self._publish_seq,
+        )
+        self.trace.evictions += result.evictions
+        placement = result.placement
         self.trace.placements[chunk] = placement
         if not placement.caches:
             self.trace.uncached_chunks.append(chunk)
@@ -146,45 +238,18 @@ class OnlineFairCache:
             self.state.evict(node, chunk)
 
     def _make_room(self) -> int:
-        """Ask the policy to free one slot per full node (best effort).
-
-        Returns the number of evictions performed.
-        """
-        replicas = self._replica_counts()
-        sanitize = contracts.sanitize_enabled()
-        freed = 0
-        for node in self.problem.clients:
-            if self.state.storage.available(node) > 0:
-                continue
-            victim = self.policy.choose_victim(
-                self.state, node, self._publish_seq, replicas
-            )
-            if victim is not None:
-                self.state.evict(node, victim)
-                self.trace.evictions += 1
-                freed += 1
-                # The victim came off ``node``'s shelf, so it must have a
-                # positive replica count; defaulting a missing entry (the
-                # old ``.get(victim, 1)``) would mask a policy returning
-                # a chunk the node never held and let counts go negative
-                # when the same victim is evicted from several full nodes.
-                replicas[victim] = replicas.get(victim, 0) - 1
-                if sanitize and replicas[victim] < 0:
-                    raise InvariantError(
-                        "online.replicas",
-                        f"replica count of chunk {victim} went negative "
-                        f"after eviction from node {node!r} — the "
-                        "replacement policy returned a chunk the node "
-                        "did not hold",
-                    )
+        """One :func:`make_room` round, tallied into the trace."""
+        freed = make_room(
+            self.state,
+            self.policy,
+            self._publish_seq,
+            replicas=self._replica_counts(),
+        )
+        self.trace.evictions += freed
         return freed
 
     def _replica_counts(self) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
-        for node in self.state.storage.nodes():
-            for chunk in self.state.storage.chunks_at(node):
-                counts[chunk] = counts.get(chunk, 0) + 1
-        return counts
+        return replica_counts(self.state)
 
     def _record(self, event: OnlineEvent) -> None:
         loads = [

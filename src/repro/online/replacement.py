@@ -8,7 +8,7 @@ are deterministic and pluggable.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Protocol, Set
+from typing import Dict, Hashable, Optional, Protocol, Set, Type
 
 from repro.core.problem import ProblemState
 
@@ -97,3 +97,11 @@ class NeverEvict:
         live_replicas: Dict[ChunkId, int],
     ) -> Optional[ChunkId]:
         return None
+
+
+#: CLI name → policy class (``repro list`` enumerates it).
+REPLACEMENT_POLICIES: Dict[str, Type] = {
+    OldestFirst.name: OldestFirst,
+    MostReplicated.name: MostReplicated,
+    NeverEvict.name: NeverEvict,
+}

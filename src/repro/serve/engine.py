@@ -114,6 +114,19 @@ class ServeConfig:
         tests and for tracing individual simulator events.
     batch_size:
         Requests per struct-of-arrays batch on the batched path.
+    skip_requests:
+        Discard this many requests from the front of the workload stream
+        before serving begins.  This is the epoch hook for the adaptive
+        control loop (``docs/ADAPTIVE.md``): epoch ``k`` replays
+        requests ``[k*R, (k+1)*R)`` of one continuous stream by skipping
+        ``k*R``.  Skipped requests consume workload RNG draws but touch
+        no queues, tallies, or engine RNG, so both replay paths stay
+        byte-identical.
+    record_demand:
+        Tally per-``(client, chunk)`` request counts during the replay
+        (exported via :meth:`ServeEngine.demand_counts`).  Both engines
+        tally the same served requests, so the export is identical
+        whichever path ran.  Off by default — the hot path pays nothing.
     """
 
     failure_rate: float = 0.0
@@ -123,11 +136,17 @@ class ServeConfig:
     seed: int = DEFAULT_ENGINE_SEED
     engine: str = ENGINE_BATCHED
     batch_size: int = DEFAULT_BATCH_SIZE
+    skip_requests: int = 0
+    record_demand: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_rate <= 1.0:
             raise ProblemError(
                 f"failure_rate must be in [0, 1], got {self.failure_rate}"
+            )
+        if self.skip_requests < 0:
+            raise ProblemError(
+                f"skip_requests must be >= 0, got {self.skip_requests}"
             )
         if self.timeout < 0:
             raise ProblemError(f"timeout must be >= 0, got {self.timeout}")
@@ -207,6 +226,10 @@ class ServeEngine(ServeView):
         self._service_cache: Dict[Tuple[Node, Node], float] = {}
         self._cost_rows: Dict[Node, Dict[Node, float]] = {}
 
+        # Per-(client, chunk) request counts (record_demand only) — the
+        # demand signal the adaptive control plane estimates from.
+        self._demand: Dict[Tuple[Node, int], int] = {}
+
         # Tallies.
         self._latencies: List[float] = []
         self._queue_delays: List[float] = []
@@ -235,6 +258,16 @@ class ServeEngine(ServeView):
         if self._busy.get(server):
             depth += 1
         return depth
+
+    def demand_counts(self) -> Dict[Tuple[Node, int], int]:
+        """Per-``(client, chunk)`` served-request counts from the replay.
+
+        Empty unless :attr:`ServeConfig.record_demand` was set.  Both
+        replay paths serve the identical request multiset, so the
+        returned mapping is engine-independent — the determinism
+        contract the adaptive signal layer builds on.
+        """
+        return dict(self._demand)
 
     # -- the replay ----------------------------------------------------
     def run(self) -> ServeReport:
@@ -288,7 +321,13 @@ class ServeEngine(ServeView):
         stream = self.workload.stream(
             self.problem.clients, self.problem.num_chunks
         )
+        # Epoch hook: burn the epoch prefix without scheduling anything.
+        for _ in range(self.config.skip_requests):
+            if next(stream, None) is None:
+                break
         remaining = self.num_requests
+        record_demand = self.config.record_demand
+        demand = self._demand
         # Streaming-telemetry guard: one attribute read when off.  The
         # per-request engine samples per completion; ``arrived`` feeds
         # the in-flight census and is only maintained when telemetry is
@@ -312,6 +351,9 @@ class ServeEngine(ServeView):
             schedule_next()  # keep exactly one pending arrival queued
             if series_on:
                 arrived += 1
+            if record_demand:
+                key = (request.client, request.chunk)
+                demand[key] = demand.get(key, 0) + 1
             candidates = list(self._candidates[request.chunk])
             attempts = 0
             while True:
@@ -442,6 +484,8 @@ class ServeEngine(ServeView):
         candidates_by_chunk = self._candidates
         retry_penalty = config.retry_penalty
         timeout = config.timeout
+        record_demand = config.record_demand
+        demand = self._demand
         latencies = self._latencies
         queue_delays = self._queue_delays
         served = self._served
@@ -539,6 +583,10 @@ class ServeEngine(ServeView):
             config.batch_size,
         )
         remaining = self.num_requests
+        # Epoch hook: drop the skipped stream prefix batch by batch.
+        # Skipped requests never enter the tallies or the float chain,
+        # matching the reference path's pre-scheduling burn exactly.
+        to_skip = config.skip_requests
         # The reference path's arrival-event times round through
         # schedule_at (now + (t - now)); mirror the chain exactly.
         effective = 0.0
@@ -547,6 +595,14 @@ class ServeEngine(ServeView):
             if batch is None:
                 break
             times, clients, chunks = batch
+            if to_skip:
+                if to_skip >= len(times):
+                    to_skip -= len(times)
+                    continue
+                times = times[to_skip:]
+                clients = clients[to_skip:]
+                chunks = chunks[to_skip:]
+                to_skip = 0
             if len(times) > remaining:
                 times = times[:remaining]
             remaining -= len(times)
@@ -569,6 +625,9 @@ class ServeEngine(ServeView):
                 for i in range(len(times)):
                     raw = times[i]
                     effective = effective + (raw - effective)
+                    if record_demand:
+                        dkey = (clients[i], chunks[i])
+                        demand[dkey] = demand.get(dkey, 0) + 1
                     key = (chunks[i], clients[i])
                     hit = resolved.get(key)
                     if hit is None:
@@ -600,6 +659,9 @@ class ServeEngine(ServeView):
                 drain(effective)
                 client = clients[i]
                 chunk = chunks[i]
+                if record_demand:
+                    dkey = (client, chunk)
+                    demand[dkey] = demand.get(dkey, 0) + 1
                 candidates = list(candidates_by_chunk[chunk])
                 attempts = 0
                 while True:

@@ -39,6 +39,7 @@ The :data:`WORKLOADS` registry maps CLI names to generator classes;
 
 from __future__ import annotations
 
+import math
 import random
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -329,10 +330,86 @@ class FlashCrowdWorkload(ZipfWorkload):
         return super()._pick_chunk(rng, num_chunks, now, state)
 
 
+@dataclass(frozen=True)
+class ShiftWorkload(ZipfWorkload):
+    """Zipf popularity whose *ranks* are re-shuffled every ``shift_period``
+    simulated seconds — the popularity-drift stressor for the adaptive
+    control loop (``docs/ADAPTIVE.md``).
+
+    The Zipf skew is constant; which chunk occupies which rank is a
+    seeded permutation that is re-drawn at every epoch boundary.  The
+    permutation RNG is separate from the request RNG (derived from
+    ``seed``), so shuffles never perturb the per-request draw schedule
+    and :meth:`stream` / :meth:`stream_batches` stay value-identical.
+    Epochs advance one at a time even when an interarrival gap skips
+    several boundaries, so the permutation at any ``now`` depends only
+    on ``int(now // shift_period)`` — not on the arrival pattern.
+    """
+
+    name = "shift"
+
+    shift_period: float = 60.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shift_period <= 0:
+            raise ProblemError(
+                f"shift_period must be > 0, got {self.shift_period}"
+            )
+
+    def _prepare(
+        self, rng: random.Random, clients: List[Node], num_chunks: int
+    ) -> StreamState:
+        state = super()._prepare(rng, clients, num_chunks)
+        # Derived, not shared: shuffling must not consume request RNG.
+        state["perm_rng"] = random.Random((self.seed << 1) ^ 0x5A1F)
+        state["perm"] = list(range(num_chunks))
+        state["epoch"] = 0
+        return state
+
+    def _pick_chunk(
+        self, rng: random.Random, num_chunks: int, now: float, state: StreamState
+    ) -> int:
+        target = int(now // self.shift_period)
+        while state["epoch"] < target:
+            state["epoch"] += 1
+            state["perm_rng"].shuffle(state["perm"])
+        rank = super()._pick_chunk(rng, num_chunks, now, state)
+        return state["perm"][rank]
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload(ZipfWorkload):
+    """Zipf popularity with a sinusoidal day/night arrival-rate swing:
+    the instantaneous rate is ``rate * (1 + amplitude * sin(2π·now/period))``,
+    so demand peaks mid-"day" and troughs mid-"night" while chunk
+    popularity stays fixed."""
+
+    name = "diurnal"
+
+    period: float = 240.0
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period <= 0:
+            raise ProblemError(f"period must be > 0, got {self.period}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ProblemError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+
+    def _interarrival(self, rng: random.Random, now: float) -> float:
+        swing = 1.0 + self.amplitude * math.sin(2.0 * math.pi * now / self.period)
+        return rng.expovariate(self.rate * swing)
+
+
 #: CLI name → workload class (``repro serve --workload`` / ``repro list``).
 WORKLOADS: Dict[str, Type[Workload]] = {
     UniformWorkload.name: UniformWorkload,
     ZipfWorkload.name: ZipfWorkload,
     HotspotWorkload.name: HotspotWorkload,
     FlashCrowdWorkload.name: FlashCrowdWorkload,
+    ShiftWorkload.name: ShiftWorkload,
+    DiurnalWorkload.name: DiurnalWorkload,
 }

@@ -61,6 +61,9 @@ DEFAULT_SWEEP_REQUESTS = 10_000
 #: Topology kinds a sweep axis may name (``kind:size`` specs).
 TOPOLOGY_KINDS = ("grid", "random")
 
+#: The adaptive-axis value that keeps a cell a plain one-shot replay.
+ADAPTIVE_OFF = "off"
+
 
 def parse_topology(spec: str) -> Tuple[str, int]:
     """Parse a ``kind:size`` topology spec (``grid:6``, ``random:30``).
@@ -95,6 +98,7 @@ class SweepCell:
     workload: str
     policy: str
     seed: int
+    adaptive: str = ADAPTIVE_OFF
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -103,6 +107,7 @@ class SweepCell:
             "workload": self.workload,
             "policy": self.policy,
             "seed": self.seed,
+            "adaptive": self.adaptive,
         }
 
 
@@ -120,6 +125,12 @@ class SweepGrid:
     workloads: Tuple[str, ...] = ("zipf",)
     policies: Tuple[str, ...] = ("cheapest",)
     seeds: Tuple[int, ...] = (2017,)
+    #: Adaptive axis: "off" (plain one-shot replay) and/or adaptive
+    #: control policies (``repro.adaptive``); an adaptive cell runs the
+    #: closed loop over ``epochs`` windows of ``requests // epochs``
+    #: requests and reports its final (steady-state) epoch.
+    adaptive: Tuple[str, ...] = (ADAPTIVE_OFF,)
+    epochs: int = 4
     algorithm: str = "Appx"
     requests: int = DEFAULT_SWEEP_REQUESTS
     rate: Optional[float] = None
@@ -129,7 +140,9 @@ class SweepGrid:
     engine: str = ENGINE_BATCHED
 
     def __post_init__(self) -> None:
-        for axis_name in ("topologies", "workloads", "policies", "seeds"):
+        for axis_name in (
+            "topologies", "workloads", "policies", "seeds", "adaptive"
+        ):
             if not getattr(self, axis_name):
                 raise ProblemError(f"sweep axis {axis_name!r} is empty")
         for spec in self.topologies:
@@ -159,6 +172,29 @@ class SweepGrid:
             raise ProblemError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
+        from repro.adaptive import ADAPTIVE_POLICIES
+
+        for name in self.adaptive:
+            if name != ADAPTIVE_OFF and name not in ADAPTIVE_POLICIES:
+                raise ProblemError(
+                    f"unknown adaptive policy {name!r}; choose from "
+                    f"{[ADAPTIVE_OFF] + sorted(ADAPTIVE_POLICIES)}"
+                )
+        if any(name != ADAPTIVE_OFF for name in self.adaptive):
+            if self.algorithm != "Appx":
+                raise ProblemError(
+                    "adaptive sweep cells re-solve with Algorithm 1; "
+                    "the algorithm axis must stay 'Appx'"
+                )
+            if self.epochs < 1:
+                raise ProblemError(
+                    f"epochs must be >= 1, got {self.epochs}"
+                )
+            if self.requests < self.epochs:
+                raise ProblemError(
+                    "adaptive cells need at least one request per epoch "
+                    f"({self.requests} requests / {self.epochs} epochs)"
+                )
 
     def cells(self) -> List[SweepCell]:
         """The grid, flattened in canonical shard-index order."""
@@ -167,15 +203,17 @@ class SweepGrid:
             for workload in self.workloads:
                 for policy in self.policies:
                     for seed in self.seeds:
-                        cells.append(
-                            SweepCell(
-                                index=len(cells),
-                                topology=topology,
-                                workload=workload,
-                                policy=policy,
-                                seed=seed,
+                        for adaptive in self.adaptive:
+                            cells.append(
+                                SweepCell(
+                                    index=len(cells),
+                                    topology=topology,
+                                    workload=workload,
+                                    policy=policy,
+                                    seed=seed,
+                                    adaptive=adaptive,
+                                )
                             )
-                        )
         return cells
 
     def to_dict(self) -> Dict[str, Any]:
@@ -184,6 +222,8 @@ class SweepGrid:
             "workloads": list(self.workloads),
             "policies": list(self.policies),
             "seeds": list(self.seeds),
+            "adaptive": list(self.adaptive),
+            "epochs": self.epochs,
             "algorithm": self.algorithm,
             "requests": self.requests,
             "rate": self.rate,
@@ -226,8 +266,75 @@ def _cell_placement(
     return placement
 
 
+def _build_cell_problem(payload: Dict[str, Any]) -> Any:
+    kind, size = parse_topology(payload["topology"])
+    if kind == "grid":
+        return grid_problem(
+            size, num_chunks=payload["chunks"], capacity=payload["capacity"]
+        )
+    problem, _ = random_problem(
+        size, seed=payload["seed"], num_chunks=payload["chunks"],
+        capacity=payload["capacity"],
+    )
+    return problem
+
+
+def _build_cell_workload(payload: Dict[str, Any]) -> Any:
+    workload_cls = WORKLOADS[payload["workload"]]
+    if payload["rate"] is not None:
+        return workload_cls(seed=payload["seed"], rate=payload["rate"])
+    return workload_cls(seed=payload["seed"])
+
+
+def _cell_key(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "index": payload["index"],
+        "topology": payload["topology"],
+        "workload": payload["workload"],
+        "policy": payload["policy"],
+        "seed": payload["seed"],
+        "adaptive": payload.get("adaptive", ADAPTIVE_OFF),
+    }
+
+
+def _run_adaptive_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One closed-loop cell: the adaptive axis named a control policy.
+
+    The cell runs ``epochs`` windows of ``requests // epochs`` requests
+    through :class:`repro.adaptive.AdaptiveController`; its ``report``
+    is the final epoch's ServeReport (the steady state after
+    adaptation, comparable with one-shot cells), and the full
+    ``repro-adaptive/1`` document rides along under ``"adaptive"``.
+    """
+    from repro.adaptive import AdaptiveConfig, AdaptiveController
+
+    problem = _build_cell_problem(payload)
+    workload = _build_cell_workload(payload)
+    config = AdaptiveConfig(
+        epochs=payload["epochs"],
+        epoch_requests=payload["requests"] // payload["epochs"],
+        policy=payload["adaptive"],
+        selection_policy=payload["policy"],
+        serve=ServeConfig(
+            failure_rate=payload["failure_rate"],
+            seed=payload["seed"],
+            engine=payload["engine"],
+        ),
+    )
+    controller = AdaptiveController(problem, workload, config)
+    adaptive_report = controller.run()
+    assert controller.last_serve_report is not None
+    return {
+        "cell": _cell_key(payload),
+        "report": controller.last_serve_report.to_dict(),
+        "adaptive": adaptive_report.to_dict(),
+    }
+
+
 def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one cell; module-level so ``Pool.map`` can pickle it."""
+    if payload.get("adaptive", ADAPTIVE_OFF) != ADAPTIVE_OFF:
+        return _run_adaptive_cell(payload)
     placement = _cell_placement(
         payload["topology"],
         payload["seed"],
@@ -235,11 +342,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         payload["capacity"],
         payload["algorithm"],
     )
-    workload_cls = WORKLOADS[payload["workload"]]
-    if payload["rate"] is not None:
-        workload = workload_cls(seed=payload["seed"], rate=payload["rate"])
-    else:
-        workload = workload_cls(seed=payload["seed"])
+    workload = _build_cell_workload(payload)
     config = ServeConfig(
         failure_rate=payload["failure_rate"],
         seed=payload["seed"],
@@ -253,13 +356,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         config=config,
     )
     return {
-        "cell": {
-            "index": payload["index"],
-            "topology": payload["topology"],
-            "workload": payload["workload"],
-            "policy": payload["policy"],
-            "seed": payload["seed"],
-        },
+        "cell": _cell_key(payload),
         "report": report.to_dict(),
     }
 
@@ -294,8 +391,10 @@ def run_sweep(
     """
     cells = grid.cells()
     workers = resolve_workers(workers, len(cells))
+    # Cell fields win the merge: both dicts carry an "adaptive" key
+    # (the cell's policy value vs the grid's axis list).
     payloads = [
-        {**cell.to_dict(), **grid.to_dict()} for cell in cells
+        {**grid.to_dict(), **cell.to_dict()} for cell in cells
     ]
     obs = get_recorder()
     trace = get_tracer()
@@ -366,23 +465,29 @@ def run_sweep(
 def aggregate_cells(
     results: Sequence[Dict[str, Any]]
 ) -> List[Dict[str, Any]]:
-    """Per-(workload, policy) aggregate rows across topologies × seeds.
+    """Per-(workload, policy, adaptive) rows across topologies × seeds.
 
     Means accumulate in cell-index order (the input order), so the
     floats are identical however the cells were scheduled.
     """
-    groups: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    groups: Dict[Tuple[str, str, str], List[Dict[str, Any]]] = {}
     for result in results:
-        key = (result["cell"]["workload"], result["cell"]["policy"])
+        cell = result["cell"]
+        key = (
+            cell["workload"],
+            cell["policy"],
+            cell.get("adaptive", ADAPTIVE_OFF),
+        )
         groups.setdefault(key, []).append(result["report"])
     rows: List[Dict[str, Any]] = []
-    for (workload, policy) in sorted(groups):
-        reports = groups[(workload, policy)]
+    for (workload, policy, adaptive) in sorted(groups):
+        reports = groups[(workload, policy, adaptive)]
         n = len(reports)
         rows.append(
             {
                 "workload": workload,
                 "policy": policy,
+                "adaptive": adaptive,
                 "cells": n,
                 "completed": sum(r["completed"] for r in reports),
                 "failovers": sum(r["failovers"] for r in reports),
@@ -422,6 +527,7 @@ def render_sweep(document: Dict[str, Any]) -> str:
         [
             row["workload"],
             row["policy"],
+            row.get("adaptive", ADAPTIVE_OFF),
             row["cells"],
             row["completed"],
             round(row["mean_served_gini"], 4),
@@ -441,8 +547,8 @@ def render_sweep(document: Dict[str, Any]) -> str:
         f"{grid['requests']} requests/cell, {grid['algorithm']}"
     )
     table: str = render_table(
-        ["workload", "policy", "cells", "completed", "gini", "jain",
-         "p99 s", "req/s"],
+        ["workload", "policy", "adaptive", "cells", "completed", "gini",
+         "jain", "p99 s", "req/s"],
         rows,
         title=title,
     )

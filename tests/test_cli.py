@@ -182,7 +182,7 @@ class TestBench:
         data = json.loads(out.read_text())
         assert data["repeats"] == 1
         assert [s["name"] for s in data["scenarios"]] == [
-            "small", "serve-scale", "dist-faults",
+            "small", "serve-scale", "dist-faults", "adaptive-drift",
         ]
         counters = data["scenarios"][0]["algorithms"]["Appx"]["counters"]
         assert counters.get("costs.full_rebuilds", 0) == 0
@@ -198,6 +198,12 @@ class TestBench:
         faults = data["scenarios"][2]
         assert set(faults["algorithms"]) == {"DistFaults"}
         assert faults.get("serve") is None
+        # adaptive-drift gates the control loop only: one Adaptive entry
+        # carrying the loop summary, which must beat the static arm.
+        adaptive = data["scenarios"][3]
+        assert set(adaptive["algorithms"]) == {"Adaptive"}
+        summary = adaptive["algorithms"]["Adaptive"]["adaptive"]
+        assert summary["savings"] > 0
         assert "full-rebuild budget OK" in capsys.readouterr().out
 
     def test_full_rebuild_budget_overrun_fails(self, tmp_path, capsys,

@@ -316,11 +316,14 @@ class TestBench:
     def test_default_suite_has_the_acceptance_scenarios(self):
         assert [s.name for s in DEFAULT_SUITE] == [
             "small", "medium", "large", "serve-scale", "dist-faults",
+            "adaptive-drift",
         ]
         assert SUITE_BY_NAME["large"].num_nodes == 100
         scale = SUITE_BY_NAME["serve-scale"]
         assert scale.serve_only
         assert scale.serve_requests == 200_000
+        adaptive = SUITE_BY_NAME["adaptive-drift"]
+        assert adaptive.adaptive_only
 
     def test_bench_algorithm_reports_wall_and_recorder(self):
         outcome = bench_algorithm(self.TINY.build(), "Appx", repeats=2)

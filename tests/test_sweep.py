@@ -114,7 +114,7 @@ class TestSweepDeterminism:
         cell = doc["cells"][0]
         assert cell["cell"] == {
             "index": 0, "topology": "grid:4", "workload": "zipf",
-            "policy": "cheapest", "seed": 1,
+            "policy": "cheapest", "seed": 1, "adaptive": "off",
         }
         placement = solve_approximation(grid_problem(4))
         report = serve_placement(
